@@ -1,0 +1,59 @@
+"""Ablation: blur gating (offload shaping).
+
+The client "performs a quick check on each frame to detect blur ...
+discarding such frames" before spending SIFT compute and uplink bytes.
+This bench quantifies the saving: bytes and keypoints a gated client
+spends on a mixed sharp/blurred stream versus an ungated one, and the
+match quality of what blurred frames would have uploaded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import UniquenessOracle, VisualPrintClient, VisualPrintConfig
+from repro.features import BlurDetector
+from repro.imaging import motion_blur
+from repro.imaging.synth import SceneLibrary
+
+
+def test_ablation_blur_gating(benchmark):
+    def run():
+        library = SceneLibrary(
+            seed=17, num_scenes=3, num_distractors=3, size=(192, 192),
+            blur_probability=0.0,
+        )
+        config = VisualPrintConfig(descriptor_capacity=50_000, fingerprint_size=40)
+        oracle = UniquenessOracle(config)
+        seed_keypoints = VisualPrintClient(oracle, config).extract_keypoints(
+            library.scene(0)
+        )
+        if len(seed_keypoints):
+            oracle.insert(seed_keypoints.descriptors)
+
+        detector = BlurDetector()
+        detector.calibrate([library.scene(scene) for scene in range(3)])
+        gated = VisualPrintClient(oracle, config, blur_detector=detector)
+        ungated = VisualPrintClient(oracle, config)
+
+        # A stream alternating sharp frames and heavy motion blur.
+        frames = []
+        for index in range(12):
+            frame = library.query_view(index % 3, index % 5)
+            if index % 2 == 1:
+                frame = motion_blur(frame, 13, 0.6)
+            frames.append(frame)
+        for index, frame in enumerate(frames):
+            gated.process_frame(frame, index)
+            ungated.process_frame(frame, index)
+        return gated.stats, ungated.stats
+
+    gated, ungated = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"  gated:   {gated.bytes_uploaded / 1024:.1f} KB uploaded, "
+        f"{gated.frames_rejected_blur} frames rejected"
+    )
+    print(f"  ungated: {ungated.bytes_uploaded / 1024:.1f} KB uploaded")
+    assert gated.frames_rejected_blur > 0
+    assert gated.bytes_uploaded < ungated.bytes_uploaded

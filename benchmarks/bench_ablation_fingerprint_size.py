@@ -1,0 +1,54 @@
+"""Ablation: fingerprint size — the central bandwidth/accuracy knob.
+
+Sweeps k and reports recall together with upload bytes per query: the
+trade-off curve behind the paper's choice to evaluate k = 200 and 500.
+Expected shape: recall rises steeply then saturates near the LSH-with-
+all-keypoints ceiling, while upload grows linearly — the knee is where
+VisualPrint wants to operate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.datasets import build_workload
+from repro.evaluation.retrieval import (
+    build_oracle,
+    build_scene_database,
+    evaluate_scheme_cdfs,
+    run_visualprint,
+)
+from repro.features.serialize import keypoint_record_bytes
+from repro.matching import LshMatcher
+
+
+def test_ablation_fingerprint_size(benchmark, full_scale):
+    sizes = (20, 60, 150, 300) if full_scale else (20, 60, 150)
+    params = (
+        dict(num_scenes=20, num_distractors=60, views_per_scene=5, image_size=256)
+        if full_scale
+        else dict(num_scenes=10, num_distractors=30, views_per_scene=3, image_size=224)
+    )
+
+    def run():
+        workload = build_workload(seed=7, cache_dir=".cache", **params)
+        database = build_scene_database(workload)
+        oracle = build_oracle(workload)
+        matcher = LshMatcher(database.descriptors)
+        rows = []
+        for size in sizes:
+            result = run_visualprint(workload, database, matcher, oracle, count=size)
+            cdfs = evaluate_scheme_cdfs([result], database)
+            recall = float(np.mean(cdfs[result.scheme]["recall"]))
+            upload = float(result.uploaded_keypoints.mean()) * keypoint_record_bytes()
+            rows.append((size, recall, upload))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("  k     recall   upload/query")
+    for size, recall, upload in rows:
+        print(f"  {size:<5} {recall:>6.2f}   {upload / 1024:>8.1f} KB")
+    recalls = [recall for _, recall, _ in rows]
+    # shape: recall non-decreasing in k (within noise)
+    assert all(b >= a - 0.08 for a, b in zip(recalls, recalls[1:]))

@@ -1,0 +1,39 @@
+"""Ablation: ICP drift correction and fingerprint size (DESIGN.md §4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.wardrive import DriftModel, IndoorEnvironment, WardriveSession
+
+
+def test_ablation_icp_drift(benchmark):
+    """Mapping error with and without ICP across drift scales."""
+
+    def run():
+        environment = IndoorEnvironment.build("office", seed=3)
+        rows = []
+        for scale in (1.0, 3.0):
+            raw = WardriveSession(
+                environment, seed=3, drift=DriftModel(scale=scale)
+            ).run(use_icp=False)
+            corrected = WardriveSession(
+                environment, seed=3, drift=DriftModel(scale=scale)
+            ).run(use_icp=True)
+            rows.append(
+                (
+                    scale,
+                    float(np.median(raw.position_errors())),
+                    float(np.median(corrected.position_errors())),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("  drift-scale  raw-median  icp-median  (meters)")
+    for scale, raw_err, icp_err in rows:
+        print(f"  {scale:>11.1f} {raw_err:>11.2f} {icp_err:>11.2f}")
+    # at heavy drift, correction must not make mapping worse
+    heavy = rows[-1]
+    assert heavy[2] <= heavy[1] * 1.1

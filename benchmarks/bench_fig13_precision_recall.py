@@ -1,0 +1,54 @@
+"""Figure 13 bench: precision/recall CDFs across the five regimes.
+
+The headline accuracy experiment.  Reduced scale by default; the
+``--full-scale`` run (50 scenes x 5 views, 200 distractors) is what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiments import fig13_precision_recall
+
+
+def test_fig13_precision_recall(benchmark, full_scale):
+    if full_scale:
+        params = dict(
+            num_scenes=50,
+            num_distractors=200,
+            views_per_scene=5,
+            image_size=320,
+            small_count=100,
+            large_count=250,
+            random_count=250,
+        )
+    else:
+        params = dict(
+            num_scenes=12,
+            num_distractors=36,
+            views_per_scene=3,
+            image_size=224,
+            small_count=60,
+            large_count=150,
+            random_count=150,
+            include_bruteforce=True,
+        )
+    result = benchmark.pedantic(
+        lambda: fig13_precision_recall.run(**params), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 13: per-scene precision/recall")
+    medians = {}
+    for scheme, pr in result["cdfs"].items():
+        medians[scheme] = (float(np.mean(pr["precision"])), float(np.mean(pr["recall"])))
+        print(
+            f"  {scheme:<18} P med {np.median(pr['precision']):.2f} "
+            f"mean {np.mean(pr['precision']):.2f} | "
+            f"R med {np.median(pr['recall']):.2f} mean {np.mean(pr['recall']):.2f}"
+        )
+    schemes = list(result["cdfs"])
+    random_scheme = next(s for s in schemes if s.startswith("Random"))
+    vp_large = [s for s in schemes if s.startswith("VisualPrint")][-1]
+    # shape: VisualPrint's large fingerprint >= Random at the same upload
+    assert medians[vp_large][1] >= medians[random_scheme][1] - 0.05

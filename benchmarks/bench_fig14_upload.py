@@ -1,0 +1,29 @@
+"""Figure 14 bench: cumulative upload, VisualPrint vs whole frames."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import fig14_upload
+
+
+def test_fig14_upload(benchmark, full_scale):
+    params = dict(duration_seconds=70.0, image_size=320) if full_scale else dict(
+        duration_seconds=30.0, image_size=192, fingerprint_size=30
+    )
+    result = benchmark.pedantic(
+        lambda: fig14_upload.run(**params), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 14: cumulative upload (MB)")
+    for t, frame_mb, vp_mb in zip(
+        result["times"][::2],
+        result["frame_cumulative_mb"][::2],
+        result["visualprint_cumulative_mb"][::2],
+    ):
+        print(f"  t={t:>4.0f}s frames {frame_mb:>8.2f}  visualprint {vp_mb:>7.3f}")
+    reduction = result["frame_total_mb"] / max(result["visualprint_total_mb"], 1e-9)
+    print(
+        f"  per query: {result['mean_fingerprint_bytes'] / 1024:.1f} KB vs "
+        f"{result['mean_frame_bytes'] / 1024:.1f} KB (paper: 51.2 vs 523 KB); "
+        f"reduction {reduction:.1f}x"
+    )
+    assert reduction >= 4.0

@@ -1,0 +1,21 @@
+"""Figure 15 bench: client disk/memory footprint per approach."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import fig15_memory
+from repro.evaluation.footprint import format_footprint_table
+
+
+def test_fig15_memory(benchmark, full_scale):
+    descriptors = 500_000 if full_scale else 100_000
+    result = benchmark.pedantic(
+        lambda: fig15_memory.run(num_descriptors=descriptors), rounds=1, iterations=1
+    )
+    print()
+    print(format_footprint_table(result["paper_scale"]))
+    print(
+        f"ratios at 2.5M: disk {result['disk_ratio_lsh_over_vp']:.0f}x "
+        f"(paper 124x), memory {result['memory_ratio_lsh_over_vp']:.0f}x (paper 58x)"
+    )
+    assert result["disk_ratio_lsh_over_vp"] > 20
+    assert result["memory_ratio_lsh_over_vp"] > 20

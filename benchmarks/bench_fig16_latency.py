@@ -1,0 +1,29 @@
+"""Figure 16 bench: client compute latency, SIFT vs oracle lookups."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiments import fig16_latency
+
+
+def test_fig16_latency(benchmark, full_scale):
+    params = dict(num_frames=20, image_size=320) if full_scale else dict(
+        num_frames=8, image_size=224
+    )
+    result = benchmark.pedantic(
+        lambda: fig16_latency.run(**params), rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"Figure 16: SIFT median {result['median_sift'] * 1e3:.0f} ms, "
+        f"oracle median {result['median_oracle'] * 1e3:.1f} ms, "
+        f"ratio {result['ratio']:.1f}x (paper ~15x)"
+    )
+    for q in (10, 50, 90):
+        print(
+            f"  p{q:<3} SIFT {np.percentile(result['sift_seconds'], q) * 1e3:>7.1f} ms"
+            f"  oracle {np.percentile(result['oracle_seconds'], q) * 1e3:>6.1f} ms"
+        )
+    # shape: extraction dominates ranking by a wide margin
+    assert result["ratio"] >= 3.0

@@ -1,0 +1,20 @@
+"""Figure 18 bench: average power per configuration."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import fig18_energy
+
+
+def test_fig18_energy(benchmark, full_scale):
+    duration = 70.0 if full_scale else 15.0
+    result = benchmark.pedantic(
+        lambda: fig18_energy.run(duration_seconds=duration), rounds=1, iterations=1
+    )
+    print()
+    for name, watts in result["averages"].items():
+        print(f"  {name:<22} {watts:>5.2f} W")
+    print(f"  camera+compute fraction: {result['camera_compute_fraction']:.0%}")
+    averages = result["averages"]
+    assert averages["display"] < averages["camera"] < averages["visualprint_full"]
+    assert 5.0 <= averages["visualprint_full"] <= 8.0  # paper: ~6.5 W
+    assert averages["frame_upload"] < averages["visualprint_full"]  # paper: 4.9 W

@@ -1,0 +1,27 @@
+"""Figure 19 bench: 3D localization error CDFs in the three venues."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiments import fig19_localization
+
+
+def test_fig19_localization(benchmark, full_scale):
+    params = (
+        dict(venues=("office", "cafeteria", "grocery"), queries_per_venue=40)
+        if full_scale
+        else dict(venues=("office", "cafeteria"), queries_per_venue=12)
+    )
+    result = benchmark.pedantic(
+        lambda: fig19_localization.run(**params), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 19: 3D localization error (paper median: 2.5 m)")
+    for venue, values in result["errors"].items():
+        print(
+            f"  {venue:<10} n={values.size:<3} median {np.median(values):>5.2f} m "
+            f"p90 {np.percentile(values, 90):>5.2f} m"
+        )
+    for values in result["errors"].values():
+        assert np.median(values) < 4.0  # meters, the paper's band

@@ -1,0 +1,21 @@
+"""Figure 2 bench: sustainable FPS vs uplink bandwidth per encoding."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import fig2_fps
+
+
+def test_fig2_fps(benchmark, full_scale):
+    size = 384 if full_scale else 192
+    result = benchmark.pedantic(
+        lambda: fig2_fps.run(num_frames=8, image_size=size),
+        rounds=1,
+        iterations=1,
+    )
+    sizes = result["bytes_per_frame"]
+    print()
+    print("Figure 2 series (bytes/frame):", {k: round(v) for k, v in sizes.items()})
+    for name in ("h264", "jpeg", "png", "raw"):
+        fps = ", ".join(f"{v:.2f}" for v in result["fps"][name])
+        print(f"  {name:<5} fps over {result['bandwidths_mbps'].tolist()} Mbps: {fps}")
+    assert sizes["h264"] < sizes["jpeg"] < sizes["png"] < sizes["raw"]

@@ -1,0 +1,22 @@
+"""Figure 3 bench: keypoint-count CDF, PNG vs JPEG at matched ratio."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiments import fig3_keypoints
+
+
+def test_fig3_keypoint_cdf(benchmark, full_scale):
+    params = dict(num_images=60, image_size=256) if full_scale else dict(
+        num_images=16, image_size=160
+    )
+    result = benchmark.pedantic(
+        lambda: fig3_keypoints.run(**params), rounds=1, iterations=1
+    )
+    png, jpeg = result["png_counts"], result["jpeg_counts"]
+    print()
+    print(f"Figure 3 CDF points (JPEG ratio ~{result['mean_compression_ratio']:.0f}:1)")
+    for q in (10, 25, 50, 75, 90):
+        print(f"  p{q:<3} PNG {np.percentile(png, q):>6.0f} JPEG {np.percentile(jpeg, q):>6.0f}")
+    assert np.median(jpeg) < np.median(png)

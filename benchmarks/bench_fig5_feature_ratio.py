@@ -1,0 +1,25 @@
+"""Figure 5 bench: feature-size / image-size ratio CDF."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiments import fig5_feature_ratio
+
+
+def test_fig5_feature_ratio(benchmark, full_scale):
+    params = dict(num_images=60, image_size=256) if full_scale else dict(
+        num_images=16, image_size=160
+    )
+    result = benchmark.pedantic(
+        lambda: fig5_feature_ratio.run(**params), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 5 CDF points (feature bytes / image bytes)")
+    for q in (10, 25, 50, 75, 90):
+        print(
+            f"  p{q:<3} uncompressed {np.percentile(result['raw_ratios'], q):>6.2f} "
+            f"gzip {np.percentile(result['gzip_ratios'], q):>6.2f}"
+        )
+    # shape: features are not dramatically cheaper than the image itself
+    assert np.median(result["gzip_ratios"]) > 0.15

@@ -1,0 +1,31 @@
+"""Figure 6 bench: descriptor dimension statistics (NN profile + PCA)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiments import fig6_dimension_stats
+
+
+def test_fig6_dimension_stats(benchmark, full_scale):
+    params = (
+        dict(num_scenes=20, num_distractors=40, image_size=256)
+        if full_scale
+        else dict(num_scenes=6, num_distractors=10, image_size=160)
+    )
+    result = benchmark.pedantic(
+        lambda: fig6_dimension_stats.run(**params, cache_dir=None),
+        rounds=1,
+        iterations=1,
+    )
+    medians = np.median(result["sorted_squared_differences"], axis=0)
+    top8_share = medians[:8].sum() / max(medians.sum(), 1e-9)
+    print()
+    print(f"Figure 6a: top-8 dims carry {top8_share:.0%} of median NN distance")
+    print(
+        f"Figure 6b: {result['dims_for_90pct_variance']} of 128 PCA dims "
+        "cover 90% of variance"
+    )
+    # shape: a minority of dimensions dominates both views
+    assert top8_share > 0.35
+    assert result["dims_for_90pct_variance"] < 80

@@ -1,0 +1,20 @@
+"""Evaluation-takeaways bench: the seven headline paper-vs-measured checks."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import takeaways_exp
+
+
+def test_takeaways(benchmark, full_scale):
+    result = benchmark.pedantic(
+        lambda: takeaways_exp.run(fast=not full_scale), rounds=1, iterations=1
+    )
+    print()
+    holds = 0
+    for key, (paper_value, measured, ok) in result.items():
+        status = "OK " if ok else "MISS"
+        holds += ok
+        print(f"  [{status}] {key}: {measured}")
+        print(f"         (paper: {paper_value})")
+    # the headline shapes must all hold
+    assert holds == len(result)

@@ -1,0 +1,27 @@
+"""Benchmark configuration.
+
+Each ``bench_*.py`` regenerates one paper artifact through its
+``repro.evaluation.experiments`` driver and prints the same rows/series
+the paper reports, while pytest-benchmark times the run.  Results use
+reduced-but-representative workload sizes so the whole suite finishes in
+minutes; pass ``--full-scale`` for the paper-scale workloads recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale",
+        action="store_true",
+        default=False,
+        help="run paper-scale workloads (slow; used for EXPERIMENTS.md)",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_scale(request) -> bool:
+    return request.config.getoption("--full-scale")

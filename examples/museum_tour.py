@@ -1,0 +1,86 @@
+"""A museum tour: continuous scene identification on the move.
+
+The paper's Figure 1 scenario ("Paris, Louvre, Denon Wing, 1st Floor,
+Mona Lisa Room"): a visitor walks past a series of artworks; the app
+must keep identifying which piece is on screen from heavily blurred,
+off-angle camera frames — while spending almost nothing on the uplink.
+
+Run:  python examples/museum_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SceneLibrary, SiftExtractor, SiftParams, UniquenessOracle
+from repro import VisualPrintClient, VisualPrintConfig
+from repro.matching import LshMatcher, SceneDatabase, vote_scene
+
+
+def main() -> None:
+    # The gallery: 8 artworks plus repetitive hallway content.
+    gallery = SceneLibrary(
+        seed=13,
+        num_scenes=8,
+        num_distractors=16,
+        size=(256, 256),
+        views_per_scene=5,
+        blur_probability=0.8,  # visitors don't hold still
+        max_blur_length=11,
+    )
+    artwork_names = [
+        "Mona Lisa",
+        "Winged Victory",
+        "Liberty Leading the People",
+        "The Raft of the Medusa",
+        "Venus de Milo",
+        "The Coronation of Napoleon",
+        "La Grande Odalisque",
+        "The Wedding at Cana",
+    ]
+
+    extractor = SiftExtractor(SiftParams(contrast_threshold=0.008))
+    keypoint_sets, labels = [], []
+    for label, image in gallery.all_database_images():
+        keypoint_sets.append(extractor.extract(image))
+        labels.append(label)
+    database = SceneDatabase.from_keypoint_sets(keypoint_sets, labels)
+
+    config = VisualPrintConfig(
+        descriptor_capacity=max(database.size, 1024), fingerprint_size=60
+    )
+    oracle = UniquenessOracle(config)
+    oracle.insert(database.descriptors)
+    client = VisualPrintClient(oracle, config)
+    matcher = LshMatcher(database.descriptors)
+
+    print(f"gallery database: {database.size} descriptors, "
+          f"oracle download {oracle.download_bytes() / 1024:.0f} KB\n")
+
+    # The tour: one blurred glance at each artwork.
+    correct = 0
+    total_upload = 0
+    for artwork in range(gallery.num_scenes):
+        frame = gallery.query_view(artwork, view_index=artwork % 5)
+        fingerprint = client.process_frame(frame, frame_index=artwork)
+        total_upload += fingerprint.upload_bytes
+        _, matched_rows = matcher.match(fingerprint.keypoints.descriptors)
+        outcome = vote_scene(database.labels[matched_rows], min_votes=5)
+        predicted = (
+            artwork_names[outcome.predicted_scene]
+            if 0 <= outcome.predicted_scene < len(artwork_names)
+            else "(no confident match)"
+        )
+        marker = "+" if outcome.predicted_scene == artwork else "-"
+        correct += outcome.predicted_scene == artwork
+        print(f" [{marker}] glance at {artwork_names[artwork]:<32} -> {predicted}")
+
+    print(
+        f"\nidentified {correct}/{gallery.num_scenes} artworks; "
+        f"total upload {total_upload / 1024:.1f} KB "
+        f"({total_upload / gallery.num_scenes / 1024:.1f} KB per glance)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: the VisualPrint idea in sixty lines.
+
+Builds a tiny image database, curates a uniqueness oracle from it, then
+shows how the oracle lets a client ship an order of magnitude less data
+than a whole frame while still identifying the scene.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SceneLibrary, SiftExtractor, SiftParams, UniquenessOracle
+from repro import VisualPrintClient, VisualPrintConfig
+from repro.codecs import PngCodec
+from repro.imaging import to_uint8
+from repro.matching import BruteForceMatcher, SceneDatabase, vote_scene
+
+
+def main() -> None:
+    # 1. A small "building": 5 unique scenes + 10 repetitive distractors.
+    library = SceneLibrary(seed=7, num_scenes=5, num_distractors=10, size=(256, 256))
+    extractor = SiftExtractor(SiftParams(contrast_threshold=0.008))
+    keypoint_sets, labels = [], []
+    for label, image in library.all_database_images():
+        keypoint_sets.append(extractor.extract(image))
+        labels.append(label)
+    database = SceneDatabase.from_keypoint_sets(keypoint_sets, labels)
+    print(f"database: {database.size} descriptors from {len(labels)} images")
+
+    # 2. Curate the uniqueness oracle (server side) and hand it to a client.
+    config = VisualPrintConfig(
+        descriptor_capacity=max(database.size, 1024), fingerprint_size=60
+    )
+    oracle = UniquenessOracle(config)
+    oracle.insert(database.descriptors)
+    client = VisualPrintClient(oracle, config)
+    download_kb = oracle.download_bytes() / 1024
+    print(f"oracle download: {download_kb:.0f} KB (compressed)")
+
+    # 3. The client sees a new photo of scene 2 from a different angle.
+    query_image = library.query_view(2, view_index=1)
+    fingerprint = client.process_frame(query_image)
+    frame_bytes = len(PngCodec().encode(to_uint8(query_image)))
+    print(
+        f"query: {client.stats.keypoints_extracted} keypoints extracted, "
+        f"{len(fingerprint)} uploaded"
+    )
+    print(
+        f"upload: fingerprint {fingerprint.upload_bytes / 1024:.1f} KB vs "
+        f"lossless frame {frame_bytes / 1024:.1f} KB "
+        f"({frame_bytes / fingerprint.upload_bytes:.1f}x reduction)"
+    )
+
+    # 4. Server-side: match the fingerprint and vote for the scene.
+    matcher = BruteForceMatcher(database.descriptors)
+    _, matched_rows = matcher.match(fingerprint.keypoints.descriptors)
+    outcome = vote_scene(database.labels[matched_rows], min_votes=5)
+    print(f"predicted scene: {outcome.predicted_scene} (truth: 2)")
+    print(f"votes: {outcome.votes}")
+
+
+if __name__ == "__main__":
+    main()

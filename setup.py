@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs where the offline
+environment lacks the ``wheel`` package required by PEP 517 editables
+(``pip install -e . --no-build-isolation --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

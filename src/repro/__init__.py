@@ -1,0 +1,66 @@
+"""VisualPrint — low-bandwidth cloud offload for mobile AR.
+
+A full from-scratch reproduction of *Low Bandwidth Offload for Mobile
+AR* (Jain, Manweiler, Roy Choudhury; CoNEXT 2016).  The headline idea:
+instead of uploading frames (or all their keypoints), a mobile client
+consults a compact, downloadable **uniqueness oracle** — counting Bloom
+filters indexed by Euclidean LSH — and ships only the few hundred most
+globally-unique keypoints, cutting uplink traffic by an order of
+magnitude at comparable retrieval accuracy.
+
+Quickstart::
+
+    from repro import (
+        IndoorEnvironment, WardriveSession, VisualPrintServer,
+        VisualPrintClient, VisualPrintConfig,
+    )
+
+    env = IndoorEnvironment.build("office", seed=3)
+    mapping = WardriveSession(env, seed=3).run()
+    config = VisualPrintConfig(descriptor_capacity=mapping.num_mappings)
+    server = VisualPrintServer(config, bounds=env.bounds)
+    server.ingest(mapping.descriptors, mapping.positions)
+    client = VisualPrintClient(server.publish_oracle(), config)
+    # fingerprint = client.process_frame(image); server.localize(fingerprint)
+
+See ``examples/`` for runnable end-to-end scenarios and ``DESIGN.md``
+for the subsystem inventory and experiment index.
+"""
+
+from repro.core import (
+    Fingerprint,
+    UniquenessOracle,
+    VisualPrintClient,
+    VisualPrintConfig,
+    VisualPrintServer,
+)
+from repro.features import HarrisDetector, KeypointSet, SiftExtractor, SiftParams
+from repro.geometry import CameraIntrinsics, PinholeCamera, Pose
+from repro.imaging.synth import SceneLibrary
+from repro.lsh import E2LSHParams, LshIndex
+from repro.wardrive import DriftModel, IndoorEnvironment, TangoRig, WardriveSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CameraIntrinsics",
+    "DriftModel",
+    "E2LSHParams",
+    "Fingerprint",
+    "HarrisDetector",
+    "IndoorEnvironment",
+    "KeypointSet",
+    "LshIndex",
+    "PinholeCamera",
+    "Pose",
+    "SceneLibrary",
+    "SiftExtractor",
+    "SiftParams",
+    "TangoRig",
+    "UniquenessOracle",
+    "VisualPrintClient",
+    "VisualPrintConfig",
+    "VisualPrintServer",
+    "WardriveSession",
+    "__version__",
+]

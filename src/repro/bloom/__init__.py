@@ -1,0 +1,25 @@
+"""Bloom filters: classic, counting (with saturation), and verification.
+
+These are the probabilistic building blocks of VisualPrint's uniqueness
+oracle.  The counting variant accumulates how often a quantized keypoint
+has been inserted (saturating at 2**bits_per_counter - 1, the paper uses
+10-bit counters saturating at 1023); the verification filter hashes the
+*bit positions* of each primary insertion to suppress false positives
+introduced by multiprobe lookups.
+"""
+
+from repro.bloom.bloom import BloomFilter, optimal_num_bits, optimal_num_hashes
+from repro.bloom.container import BloomSnapshot, deserialize_counting, serialize_counting
+from repro.bloom.counting import CountingBloomFilter
+from repro.bloom.verification import VerificationBloomFilter
+
+__all__ = [
+    "BloomFilter",
+    "BloomSnapshot",
+    "CountingBloomFilter",
+    "VerificationBloomFilter",
+    "deserialize_counting",
+    "optimal_num_bits",
+    "optimal_num_hashes",
+    "serialize_counting",
+]

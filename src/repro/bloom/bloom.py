@@ -1,0 +1,111 @@
+"""Classic (binary) Bloom filter over integer vectors.
+
+Elements are fixed-length integer vectors — in VisualPrint these are the
+quantized LSH bucket vectors of SIFT descriptors.  Hashing is MurmurHash3
+via a :class:`repro.hashing.HashFamily`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing import HashFamily, Murmur3Family
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["BloomFilter", "optimal_num_bits", "optimal_num_hashes"]
+
+
+def optimal_num_bits(capacity: int, false_positive_rate: float) -> int:
+    """Bits needed to hold ``capacity`` elements at the target FP rate.
+
+    Standard sizing formula ``m = -n ln(p) / (ln 2)^2``.  The paper tunes
+    its filters "to support up to 2.5M unique feature vectors with less
+    than 1% false positives".
+    """
+    check_positive("capacity", capacity)
+    check_probability("false_positive_rate", false_positive_rate)
+    if false_positive_rate in (0.0, 1.0):
+        raise ValueError("false_positive_rate must be strictly inside (0, 1)")
+    return max(1, math.ceil(-capacity * math.log(false_positive_rate) / math.log(2) ** 2))
+
+
+def optimal_num_hashes(num_bits: int, capacity: int) -> int:
+    """Optimal hash count ``k = (m / n) ln 2`` for the sizing above."""
+    check_positive("num_bits", num_bits)
+    check_positive("capacity", capacity)
+    return max(1, round(num_bits / capacity * math.log(2)))
+
+
+class BloomFilter:
+    """Binary Bloom filter supporting batched add/contains.
+
+    >>> bloom = BloomFilter(num_bits=1 << 12, num_hashes=4)
+    >>> bloom.add(np.array([[1, 2, 3]]))
+    >>> bool(bloom.contains(np.array([[1, 2, 3]]))[0])
+    True
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int,
+        hash_family: HashFamily | None = None,
+        seed: int = 0,
+    ) -> None:
+        check_positive("num_bits", num_bits)
+        check_positive("num_hashes", num_hashes)
+        self.num_bits = int(num_bits)
+        self.num_hashes = int(num_hashes)
+        self.bits = np.zeros(self.num_bits, dtype=bool)
+        self._family = hash_family or Murmur3Family(
+            num_hashes=self.num_hashes, table_size=self.num_bits, base_seed=seed
+        )
+        if self._family.num_hashes != self.num_hashes:
+            raise ValueError("hash_family num_hashes must match num_hashes")
+        if self._family.table_size != self.num_bits:
+            raise ValueError("hash_family table_size must match num_bits")
+        self._inserted = 0
+
+    @classmethod
+    def with_capacity(
+        cls, capacity: int, false_positive_rate: float = 0.01, seed: int = 0
+    ) -> "BloomFilter":
+        """Construct a filter sized for ``capacity`` elements at the FP rate."""
+        num_bits = optimal_num_bits(capacity, false_positive_rate)
+        num_hashes = optimal_num_hashes(num_bits, capacity)
+        return cls(num_bits=num_bits, num_hashes=num_hashes, seed=seed)
+
+    @property
+    def inserted_count(self) -> int:
+        """Number of add operations performed (not distinct elements)."""
+        return self._inserted
+
+    @property
+    def fill_fraction(self) -> float:
+        """Fraction of bits currently set."""
+        return float(self.bits.mean())
+
+    def indices(self, vectors: np.ndarray) -> np.ndarray:
+        """Expose hash indices (used by the verification filter)."""
+        return self._family.indices(vectors)
+
+    def add(self, vectors: np.ndarray) -> None:
+        """Insert each row of ``vectors`` into the filter."""
+        indices = self._family.indices(vectors)
+        self.bits[indices.ravel()] = True
+        self._inserted += vectors.shape[0]
+
+    def contains(self, vectors: np.ndarray) -> np.ndarray:
+        """Probabilistic membership test for each row; shape ``(n,)`` bool."""
+        indices = self._family.indices(vectors)
+        return self.bits[indices].all(axis=1)
+
+    def estimated_false_positive_rate(self) -> float:
+        """FP estimate from the current fill fraction: ``fill ** k``."""
+        return float(self.fill_fraction**self.num_hashes)
+
+    def storage_bits(self) -> int:
+        """Logical storage footprint in bits (1 bit per position)."""
+        return self.num_bits

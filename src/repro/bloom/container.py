@@ -1,0 +1,76 @@
+"""Serialization of counting Bloom filters for client download.
+
+The client downloads the oracle "approximately 10MB" GZIP-compressed; the
+filters are fixed size but "compressibility reduces as the Bloom filter
+becomes more saturated".  This module provides the on-the-wire snapshot
+format (a small header plus the bit-packed counters) used to measure and
+reproduce exactly that effect.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import struct
+from dataclasses import dataclass
+
+from repro.bloom.counting import CountingBloomFilter
+
+__all__ = ["BloomSnapshot", "serialize_counting", "deserialize_counting"]
+
+_MAGIC = b"VPBF"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BloomSnapshot:
+    """A serialized counting Bloom filter plus its transfer statistics."""
+
+    payload: bytes
+    raw_bytes: int
+    compressed_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return float("inf")
+        return self.raw_bytes / self.compressed_bytes
+
+
+def serialize_counting(
+    bloom: CountingBloomFilter, gzip_level: int = 6
+) -> BloomSnapshot:
+    """Serialize ``bloom`` to a GZIP-compressed snapshot."""
+    header = json.dumps(
+        {
+            "num_counters": bloom.num_counters,
+            "num_hashes": bloom.num_hashes,
+            "bits_per_counter": bloom.bits_per_counter,
+        }
+    ).encode("utf-8")
+    body = bloom.packed_bytes()
+    raw = _MAGIC + struct.pack("<BI", _VERSION, len(header)) + header + body
+    compressed = gzip.compress(raw, compresslevel=gzip_level)
+    return BloomSnapshot(
+        payload=compressed, raw_bytes=len(raw), compressed_bytes=len(compressed)
+    )
+
+
+def deserialize_counting(snapshot: BloomSnapshot | bytes) -> CountingBloomFilter:
+    """Rebuild a counting Bloom filter from a snapshot (or raw payload)."""
+    payload = snapshot.payload if isinstance(snapshot, BloomSnapshot) else snapshot
+    raw = gzip.decompress(payload)
+    if raw[:4] != _MAGIC:
+        raise ValueError("not a VisualPrint Bloom snapshot (bad magic)")
+    version, header_len = struct.unpack_from("<BI", raw, 4)
+    if version != _VERSION:
+        raise ValueError(f"unsupported snapshot version {version}")
+    header_start = 4 + struct.calcsize("<BI")
+    header = json.loads(raw[header_start : header_start + header_len])
+    body = raw[header_start + header_len :]
+    return CountingBloomFilter.from_packed_bytes(
+        body,
+        num_counters=header["num_counters"],
+        num_hashes=header["num_hashes"],
+        bits_per_counter=header["bits_per_counter"],
+    )

@@ -1,0 +1,148 @@
+"""Counting Bloom filter with a saturation point.
+
+VisualPrint's uniqueness oracle stores 10-bit counters ("for a count
+saturation of 1024"; counters stop at 2**10 - 1 = 1023 and "beyond 1024,
+we treat a keypoint as not unique enough for consideration").  Queries
+return the *minimum* counter across the K probed positions — the standard
+count estimate for counting Bloom filters, which can only over-estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing import HashFamily, Murmur3Family
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["CountingBloomFilter"]
+
+
+class CountingBloomFilter:
+    """Saturating counting Bloom filter over integer vectors.
+
+    >>> cbf = CountingBloomFilter(num_counters=1 << 12, num_hashes=4)
+    >>> element = np.array([[7, 8, 9]])
+    >>> for _ in range(3):
+    ...     cbf.add(element)
+    >>> int(cbf.count(element)[0])
+    3
+    """
+
+    def __init__(
+        self,
+        num_counters: int,
+        num_hashes: int,
+        bits_per_counter: int = 10,
+        hash_family: HashFamily | None = None,
+        seed: int = 0,
+    ) -> None:
+        check_positive("num_counters", num_counters)
+        check_positive("num_hashes", num_hashes)
+        check_in_range("bits_per_counter", bits_per_counter, 1, 16)
+        self.num_counters = int(num_counters)
+        self.num_hashes = int(num_hashes)
+        self.bits_per_counter = int(bits_per_counter)
+        self.saturation = (1 << self.bits_per_counter) - 1
+        self.counters = np.zeros(self.num_counters, dtype=np.uint16)
+        self._family = hash_family or Murmur3Family(
+            num_hashes=self.num_hashes, table_size=self.num_counters, base_seed=seed
+        )
+        if self._family.num_hashes != self.num_hashes:
+            raise ValueError("hash_family num_hashes must match num_hashes")
+        if self._family.table_size != self.num_counters:
+            raise ValueError("hash_family table_size must match num_counters")
+        self._inserted = 0
+
+    @property
+    def inserted_count(self) -> int:
+        return self._inserted
+
+    def indices(self, vectors: np.ndarray) -> np.ndarray:
+        """Hash indices for each row (needed by the verification filter)."""
+        return self._family.indices(vectors)
+
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        """Insert each row; returns the ``(n, K)`` indices that were bumped.
+
+        Counters saturate instead of wrapping.  Duplicate rows within one
+        batch accumulate correctly (via ``np.add.at``).
+        """
+        indices = self._family.indices(vectors)
+        flat = indices.ravel()
+        increments = np.zeros(self.num_counters, dtype=np.int64)
+        np.add.at(increments, flat, 1)
+        touched = increments > 0
+        summed = self.counters.astype(np.int64)
+        summed[touched] = np.minimum(
+            summed[touched] + increments[touched], self.saturation
+        )
+        self.counters = summed.astype(np.uint16)
+        self._inserted += vectors.shape[0]
+        return indices
+
+    def count(self, vectors: np.ndarray) -> np.ndarray:
+        """Minimum-counter estimate of each row's insertion count."""
+        indices = self._family.indices(vectors)
+        return self.counters[indices].min(axis=1).astype(np.int64)
+
+    def count_from_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Count estimate from precomputed ``(n, K)`` indices."""
+        return self.counters[indices].min(axis=1).astype(np.int64)
+
+    def contains(self, vectors: np.ndarray) -> np.ndarray:
+        """Membership: every probed counter non-zero."""
+        return self.count(vectors) > 0
+
+    def is_saturated(self, vectors: np.ndarray) -> np.ndarray:
+        """True where the count estimate has hit the saturation ceiling."""
+        return self.count(vectors) >= self.saturation
+
+    @property
+    def fill_fraction(self) -> float:
+        """Fraction of non-zero counters."""
+        return float((self.counters > 0).mean())
+
+    def storage_bits(self) -> int:
+        """Logical footprint: ``bits_per_counter`` bits per counter."""
+        return self.num_counters * self.bits_per_counter
+
+    def storage_bytes(self) -> int:
+        """Logical footprint in bytes (rounded up)."""
+        return (self.storage_bits() + 7) // 8
+
+    def packed_bytes(self) -> bytes:
+        """Bit-packed counter array (``bits_per_counter`` bits each).
+
+        This is the representation whose GZIP-compressed size the client
+        downloads; Python keeps counters in uint16 for speed, but on the
+        wire and on disk each occupies only ``bits_per_counter`` bits.
+        """
+        bits = np.unpackbits(
+            self.counters.astype(">u2").view(np.uint8).reshape(-1, 2), axis=1
+        )
+        kept = bits[:, 16 - self.bits_per_counter :]
+        return np.packbits(kept.ravel()).tobytes()
+
+    @classmethod
+    def from_packed_bytes(
+        cls,
+        payload: bytes,
+        num_counters: int,
+        num_hashes: int,
+        bits_per_counter: int = 10,
+        seed: int = 0,
+    ) -> "CountingBloomFilter":
+        """Rebuild a filter from :meth:`packed_bytes` output."""
+        out = cls(
+            num_counters=num_counters,
+            num_hashes=num_hashes,
+            bits_per_counter=bits_per_counter,
+            seed=seed,
+        )
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        bits = bits[: num_counters * bits_per_counter].reshape(
+            num_counters, bits_per_counter
+        )
+        weights = (1 << np.arange(bits_per_counter - 1, -1, -1)).astype(np.uint32)
+        out.counters = (bits * weights).sum(axis=1).astype(np.uint16)
+        return out

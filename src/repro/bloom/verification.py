@@ -1,0 +1,69 @@
+"""Verification Bloom filter (false-positive suppression).
+
+For each insertion into the primary counting filter, the paper performs a
+second insertion into a plain Bloom filter — but "instead of hashing the
+original data, we hash the bit positions of the insertions to the primary
+Bloom filter".  A query passes only if both filters accept it.  This
+guards against primary-filter hotspots caused by coarse LSH quantization,
+and becomes "all the more crucial" once multiprobe lookups are enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bloom.bloom import BloomFilter
+from repro.util.validation import check_positive
+
+__all__ = ["VerificationBloomFilter"]
+
+
+class VerificationBloomFilter:
+    """Bloom filter keyed on the *primary-filter index tuple* of an element."""
+
+    def __init__(self, num_bits: int, num_hashes: int = 4, seed: int = 9001) -> None:
+        check_positive("num_bits", num_bits)
+        self._bloom = BloomFilter(num_bits=num_bits, num_hashes=num_hashes, seed=seed)
+
+    @property
+    def num_bits(self) -> int:
+        return self._bloom.num_bits
+
+    @property
+    def fill_fraction(self) -> float:
+        return self._bloom.fill_fraction
+
+    @staticmethod
+    def _as_vectors(primary_indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(primary_indices)
+        if indices.ndim != 2:
+            raise ValueError(
+                f"primary_indices must be (n, K), got shape {indices.shape}"
+            )
+        # Hashing concat(bitPositions): sort so the tuple is canonical even
+        # if a hash family returns positions in a different order.
+        canonical = np.sort(indices, axis=1)
+        return canonical.astype(np.uint32)
+
+    def add(self, primary_indices: np.ndarray) -> None:
+        """Record the primary-filter positions touched by each insertion."""
+        self._bloom.add(self._as_vectors(primary_indices))
+
+    def verify(self, primary_indices: np.ndarray) -> np.ndarray:
+        """True where the position tuple was actually inserted before."""
+        return self._bloom.contains(self._as_vectors(primary_indices))
+
+    def storage_bits(self) -> int:
+        return self._bloom.storage_bits()
+
+    def storage_bytes(self) -> int:
+        return (self.storage_bits() + 7) // 8
+
+    def packed_bytes(self) -> bytes:
+        """Bit-packed filter contents for serialization."""
+        return np.packbits(self._bloom.bits).tobytes()
+
+    def load_packed_bytes(self, payload: bytes) -> None:
+        """Restore filter contents from :meth:`packed_bytes` output."""
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        self._bloom.bits = bits[: self._bloom.num_bits].astype(bool)

@@ -1,0 +1,120 @@
+"""Command-line interface: ``python -m repro <experiment> [--fast]``.
+
+Runs one paper-figure driver (or all of them) and prints the series the
+paper reports.  ``--fast`` shrinks workloads for a quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation.experiments import (
+    fig2_fps,
+    fig3_keypoints,
+    fig5_feature_ratio,
+    fig6_dimension_stats,
+    fig13_precision_recall,
+    fig14_upload,
+    fig15_memory,
+    fig16_latency,
+    fig18_energy,
+    fig19_localization,
+    fig20_error_axes,
+    latency_e2e,
+    takeaways_exp,
+)
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "latency": latency_e2e,
+    "fig2": fig2_fps,
+    "fig3": fig3_keypoints,
+    "fig5": fig5_feature_ratio,
+    "fig6": fig6_dimension_stats,
+    "fig13": fig13_precision_recall,
+    "fig14": fig14_upload,
+    "fig15": fig15_memory,
+    "fig16": fig16_latency,
+    "fig18": fig18_energy,
+    "fig19": fig19_localization,
+    "fig20": fig20_error_axes,
+    "takeaways": takeaways_exp,
+}
+
+_FAST_PARAMS: dict[str, dict] = {
+    "fig3": dict(num_images=12, image_size=160),
+    "fig5": dict(num_images=12, image_size=160),
+    "fig6": dict(num_scenes=6, num_distractors=10, image_size=160, cache_dir=None),
+    "fig13": dict(
+        num_scenes=10,
+        num_distractors=30,
+        views_per_scene=3,
+        image_size=224,
+        small_count=60,
+        large_count=150,
+        random_count=150,
+        include_bruteforce=False,
+        cache_dir=None,
+    ),
+    "fig14": dict(duration_seconds=20.0, image_size=192, fingerprint_size=30),
+    "fig16": dict(num_frames=6, image_size=224),
+    "fig18": dict(duration_seconds=10.0),
+    "fig19": dict(venues=("office",), queries_per_venue=8),
+    "fig20": dict(venues=("office",), queries_per_venue=8),
+}
+
+
+def _print_summary(result: object, indent: str = "  ") -> None:
+    """Compact recursive rendering of a driver's result dict."""
+    import numpy as np
+
+    if not isinstance(result, dict):
+        print(f"{indent}{result}")
+        return
+    for key, value in result.items():
+        if isinstance(value, dict):
+            print(f"{indent}{key}:")
+            _print_summary(value, indent + "  ")
+        elif isinstance(value, np.ndarray) and value.size > 6:
+            print(
+                f"{indent}{key}: n={value.size} median={np.median(value):.3g} "
+                f"p90={np.percentile(value, 90):.3g}"
+            )
+        else:
+            print(f"{indent}{key}: {value}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce a figure from 'Low Bandwidth Offload for Mobile AR'.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink workloads for a quick (less faithful) run",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = _EXPERIMENTS[name]
+        print(f"=== {name} " + "=" * max(1, 60 - len(name)))
+        if args.fast and name in _FAST_PARAMS:
+            result = module.run(**_FAST_PARAMS[name])
+            _print_summary(result)
+        else:
+            module.main()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

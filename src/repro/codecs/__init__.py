@@ -1,0 +1,35 @@
+"""Image and video codecs, built from first principles.
+
+Figure 2 compares the uplink cost of RAW, lossless (PNG), lossy (JPEG),
+and H264 streams; Figure 3 shows how lossy compression destroys SIFT
+keypoints.  These codecs reproduce the mechanisms behind both results:
+
+* :class:`RawCodec` — uncompressed pixels.
+* :class:`PngCodec` — PNG's actual core: per-scanline predictive filters
+  (None/Sub/Up/Average/Paeth, chosen per row) followed by DEFLATE.
+  Lossless by construction.
+* :class:`JpegCodec` — JPEG's actual core: 8x8 block DCT, quality-scaled
+  quantization matrix, zigzag ordering, and entropy coding (DEFLATE
+  standing in for Huffman tables).  Lossy: decode returns the degraded
+  image so keypoint-loss experiments measure real quantization damage.
+* :class:`H264Codec` — a motion-compensated inter-frame codec model:
+  I-frames are JPEG-like, P-frames encode block-matched residuals at
+  coarser quantization.  Reproduces why video streams are an order
+  cheaper than independent stills.
+"""
+
+from repro.codecs.base import Codec, EncodedFrame, VideoCodec
+from repro.codecs.h264c import H264Codec
+from repro.codecs.jpegc import JpegCodec
+from repro.codecs.pngc import PngCodec
+from repro.codecs.rawc import RawCodec
+
+__all__ = [
+    "Codec",
+    "EncodedFrame",
+    "H264Codec",
+    "JpegCodec",
+    "PngCodec",
+    "RawCodec",
+    "VideoCodec",
+]

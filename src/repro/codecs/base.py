@@ -1,0 +1,70 @@
+"""Codec interfaces.
+
+Still codecs map one uint8 grayscale image to bytes and back.  Video
+codecs are stateful across a frame sequence (inter-frame prediction), so
+they expose an explicit session via :meth:`VideoCodec.encode_sequence`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Codec", "EncodedFrame", "VideoCodec"]
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """One encoded frame: payload plus bookkeeping for rate accounting."""
+
+    payload: bytes
+    frame_type: str  # "I" or "P" (stills are always "I")
+
+    @property
+    def num_bytes(self) -> int:
+        return len(self.payload)
+
+
+class Codec(ABC):
+    """A still-image codec over uint8 grayscale images."""
+
+    name: str = "codec"
+    lossless: bool = False
+
+    @abstractmethod
+    def encode(self, image: np.ndarray) -> bytes:
+        """Compress a uint8 grayscale image to bytes."""
+
+    @abstractmethod
+    def decode(self, payload: bytes) -> np.ndarray:
+        """Reconstruct the (possibly degraded) uint8 image."""
+
+    def roundtrip(self, image: np.ndarray) -> tuple[bytes, np.ndarray]:
+        """Encode then decode; convenience for degradation experiments."""
+        payload = self.encode(image)
+        return payload, self.decode(payload)
+
+    @staticmethod
+    def _require_uint8(image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image)
+        if image.dtype != np.uint8:
+            raise ValueError(f"codec input must be uint8, got {image.dtype}")
+        if image.ndim != 2:
+            raise ValueError(f"codec input must be 2-D grayscale, got {image.shape}")
+        return image
+
+
+class VideoCodec(ABC):
+    """A codec with inter-frame state."""
+
+    name: str = "video"
+
+    @abstractmethod
+    def encode_sequence(self, frames: list[np.ndarray]) -> list[EncodedFrame]:
+        """Encode an ordered frame sequence."""
+
+    @abstractmethod
+    def decode_sequence(self, encoded: list[EncodedFrame]) -> list[np.ndarray]:
+        """Reconstruct all frames of a sequence."""

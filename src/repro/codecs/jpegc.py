@@ -1,0 +1,140 @@
+"""Lossy codec implementing JPEG's core pipeline.
+
+8x8 block DCT-II, quantization by the ITU-T T.81 luminance matrix scaled
+by a quality factor, zigzag coefficient ordering, and DEFLATE entropy
+coding (standing in for Huffman tables; both are entropy coders of the
+same coefficient stream, so rate *ordering* across qualities and codecs
+is preserved).
+
+Decoding inverts the pipeline, returning the quantization-damaged image.
+Feeding decoded frames back through SIFT is exactly the Fig. 3
+experiment: "under compression, SIFT feature extraction efficacy drops
+substantially".
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+from scipy import fft as scipy_fft
+
+from repro.codecs.base import Codec
+
+__all__ = ["JpegCodec"]
+
+_HEADER = struct.Struct("<cIIB")
+
+# ITU-T T.81 Annex K luminance quantization table.
+_BASE_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def _zigzag_order() -> np.ndarray:
+    """Indices that traverse an 8x8 block in JPEG zigzag order."""
+    order = sorted(
+        ((row, col) for row in range(8) for col in range(8)),
+        key=lambda rc: (rc[0] + rc[1], rc[1] if (rc[0] + rc[1]) % 2 else rc[0]),
+    )
+    flat = np.array([row * 8 + col for row, col in order])
+    return flat
+
+
+_ZIGZAG = _zigzag_order()
+_UNZIGZAG = np.argsort(_ZIGZAG)
+
+
+def quality_to_quant_matrix(quality: int) -> np.ndarray:
+    """IJG quality scaling of the base quantization matrix."""
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in 1..100, got {quality}")
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    matrix = np.floor((_BASE_QUANT * scale + 50.0) / 100.0)
+    return np.clip(matrix, 1, 255)
+
+
+class JpegCodec(Codec):
+    """JPEG-core lossy codec (block DCT + quantization + entropy coding)."""
+
+    name = "jpeg"
+    lossless = False
+
+    def __init__(self, quality: int = 75, zlib_level: int = 9) -> None:
+        self.quality = int(quality)
+        self.zlib_level = int(zlib_level)
+        self._quant = quality_to_quant_matrix(self.quality)
+
+    @staticmethod
+    def _to_blocks(image: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """Pad to multiples of 8 and reshape to ``(n_blocks, 8, 8)``."""
+        height, width = image.shape
+        pad_h = (-height) % 8
+        pad_w = (-width) % 8
+        padded = np.pad(image, ((0, pad_h), (0, pad_w)), mode="edge")
+        ph, pw = padded.shape
+        blocks = padded.reshape(ph // 8, 8, pw // 8, 8).transpose(0, 2, 1, 3)
+        return blocks.reshape(-1, 8, 8), ph, pw
+
+    @staticmethod
+    def _from_blocks(blocks: np.ndarray, ph: int, pw: int, height: int, width: int) -> np.ndarray:
+        grid = blocks.reshape(ph // 8, pw // 8, 8, 8).transpose(0, 2, 1, 3)
+        return grid.reshape(ph, pw)[:height, :width]
+
+    def quantize_blocks(self, image: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """DCT + quantize; returns int16 coefficients ``(n, 64)`` zigzagged."""
+        blocks, ph, pw = self._to_blocks(image.astype(np.float64) - 128.0)
+        coefficients = scipy_fft.dctn(blocks, axes=(1, 2), norm="ortho")
+        quantized = np.rint(coefficients / self._quant).astype(np.int16)
+        zigzagged = quantized.reshape(-1, 64)[:, _ZIGZAG]
+        return zigzagged, ph, pw
+
+    def dequantize_blocks(
+        self, zigzagged: np.ndarray, ph: int, pw: int, height: int, width: int
+    ) -> np.ndarray:
+        """Inverse of :meth:`quantize_blocks` back to a uint8 image."""
+        quantized = zigzagged[:, _UNZIGZAG].reshape(-1, 8, 8).astype(np.float64)
+        coefficients = quantized * self._quant
+        blocks = scipy_fft.idctn(coefficients, axes=(1, 2), norm="ortho")
+        image = self._from_blocks(blocks, ph, pw, height, width) + 128.0
+        return np.clip(np.rint(image), 0, 255).astype(np.uint8)
+
+    def encode(self, image: np.ndarray) -> bytes:
+        image = self._require_uint8(image)
+        height, width = image.shape
+        zigzagged, _, _ = self.quantize_blocks(image)
+        # DC coefficients are delta-coded across blocks (as in JPEG).
+        stream = zigzagged.copy()
+        stream[1:, 0] = np.diff(zigzagged[:, 0])
+        body = zlib.compress(stream.astype("<i2").tobytes(), self.zlib_level)
+        return _HEADER.pack(b"J", height, width, self.quality) + body
+
+    def decode(self, payload: bytes) -> np.ndarray:
+        tag, height, width, quality = _HEADER.unpack_from(payload, 0)
+        if tag != b"J":
+            raise ValueError("not a JPEG-core payload")
+        if quality != self.quality:
+            # Decode with the stream's own quality tables.
+            codec = JpegCodec(quality=quality, zlib_level=self.zlib_level)
+            return codec.decode(payload)
+        raw = zlib.decompress(payload[_HEADER.size :])
+        stream = np.frombuffer(raw, dtype="<i2").reshape(-1, 64).astype(np.int16)
+        zigzagged = stream.copy()
+        zigzagged[:, 0] = np.cumsum(stream[:, 0])
+        ph = (height + 7) // 8 * 8
+        pw = (width + 7) // 8 * 8
+        return self.dequantize_blocks(zigzagged, ph, pw, height, width)

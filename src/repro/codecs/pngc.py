@@ -1,0 +1,144 @@
+"""Lossless codec implementing PNG's core pipeline.
+
+Per scanline, one of the five PNG filters (None, Sub, Up, Average,
+Paeth) is chosen by the standard minimum-sum-of-absolute-values
+heuristic; the filtered stream is then DEFLATE-compressed.  This is the
+mechanism that makes PNG "lossless compressed frames ... at much higher
+bitrates" than JPEG in Fig. 2 while preserving every keypoint in Fig. 3.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.codecs.base import Codec
+
+__all__ = ["PngCodec"]
+
+_HEADER = struct.Struct("<cII")
+
+_FILTER_NONE = 0
+_FILTER_SUB = 1
+_FILTER_UP = 2
+_FILTER_AVERAGE = 3
+_FILTER_PAETH = 4
+
+
+def _paeth_predictor(left: np.ndarray, up: np.ndarray, up_left: np.ndarray) -> np.ndarray:
+    estimate = left.astype(np.int32) + up.astype(np.int32) - up_left.astype(np.int32)
+    d_left = np.abs(estimate - left)
+    d_up = np.abs(estimate - up)
+    d_up_left = np.abs(estimate - up_left)
+    prediction = np.where(
+        (d_left <= d_up) & (d_left <= d_up_left),
+        left,
+        np.where(d_up <= d_up_left, up, up_left),
+    )
+    return prediction.astype(np.uint8)
+
+
+class PngCodec(Codec):
+    """PNG-core lossless codec (scanline prediction + DEFLATE)."""
+
+    name = "png"
+    lossless = True
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ValueError(f"zlib level must be in 0..9, got {level}")
+        self.level = level
+
+    def _filter_rows(self, image: np.ndarray) -> bytes:
+        height, width = image.shape
+        zero_row = np.zeros(width, dtype=np.uint8)
+        out = bytearray()
+        previous = zero_row
+        for row_index in range(height):
+            row = image[row_index]
+            left = np.concatenate(([0], row[:-1])).astype(np.uint8)
+            up_left = np.concatenate(([0], previous[:-1])).astype(np.uint8)
+            candidates = {
+                _FILTER_NONE: row,
+                _FILTER_SUB: (row.astype(np.int16) - left).astype(np.uint8),
+                _FILTER_UP: (row.astype(np.int16) - previous).astype(np.uint8),
+                _FILTER_AVERAGE: (
+                    row.astype(np.int16)
+                    - ((left.astype(np.int16) + previous.astype(np.int16)) // 2)
+                ).astype(np.uint8),
+                _FILTER_PAETH: (
+                    row.astype(np.int16)
+                    - _paeth_predictor(left, previous, up_left).astype(np.int16)
+                ).astype(np.uint8),
+            }
+            # Minimum sum of absolute deltas, interpreting bytes as signed.
+            best_filter = min(
+                candidates,
+                key=lambda f: int(
+                    np.abs(candidates[f].astype(np.int8).astype(np.int32)).sum()
+                ),
+            )
+            out.append(best_filter)
+            out.extend(candidates[best_filter].tobytes())
+            previous = row
+        return bytes(out)
+
+    def _unfilter_rows(self, filtered: bytes, height: int, width: int) -> np.ndarray:
+        image = np.zeros((height, width), dtype=np.uint8)
+        stride = width + 1
+        previous = np.zeros(width, dtype=np.int32)
+        for row_index in range(height):
+            offset = row_index * stride
+            filter_type = filtered[offset]
+            data = np.frombuffer(
+                filtered, dtype=np.uint8, count=width, offset=offset + 1
+            ).astype(np.int32)
+            row = np.zeros(width, dtype=np.int32)
+            if filter_type == _FILTER_NONE:
+                row = data
+            elif filter_type == _FILTER_UP:
+                row = (data + previous) & 0xFF
+            elif filter_type in (_FILTER_SUB, _FILTER_AVERAGE, _FILTER_PAETH):
+                # Sequential along the row; vectorize what we can.
+                left = 0
+                for col in range(width):
+                    up = previous[col]
+                    up_left = previous[col - 1] if col > 0 else 0
+                    if filter_type == _FILTER_SUB:
+                        predictor = left
+                    elif filter_type == _FILTER_AVERAGE:
+                        predictor = (left + up) // 2
+                    else:
+                        estimate = left + up - up_left
+                        d_left = abs(estimate - left)
+                        d_up = abs(estimate - up)
+                        d_ul = abs(estimate - up_left)
+                        if d_left <= d_up and d_left <= d_ul:
+                            predictor = left
+                        elif d_up <= d_ul:
+                            predictor = up
+                        else:
+                            predictor = up_left
+                    value = (data[col] + predictor) & 0xFF
+                    row[col] = value
+                    left = value
+            else:
+                raise ValueError(f"unknown PNG filter type {filter_type}")
+            image[row_index] = row.astype(np.uint8)
+            previous = row
+        return image
+
+    def encode(self, image: np.ndarray) -> bytes:
+        image = self._require_uint8(image)
+        height, width = image.shape
+        body = zlib.compress(self._filter_rows(image), self.level)
+        return _HEADER.pack(b"P", height, width) + body
+
+    def decode(self, payload: bytes) -> np.ndarray:
+        tag, height, width = _HEADER.unpack_from(payload, 0)
+        if tag != b"P":
+            raise ValueError("not a PNG-core payload")
+        filtered = zlib.decompress(payload[_HEADER.size :])
+        return self._unfilter_rows(filtered, height, width)

@@ -1,0 +1,34 @@
+"""RAW codec: uncompressed pixels plus a 9-byte shape header."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.codecs.base import Codec
+
+__all__ = ["RawCodec"]
+
+_HEADER = struct.Struct("<cII")
+
+
+class RawCodec(Codec):
+    """Identity codec; the Fig. 2 upper bound on bytes per frame."""
+
+    name = "raw"
+    lossless = True
+
+    def encode(self, image: np.ndarray) -> bytes:
+        image = self._require_uint8(image)
+        height, width = image.shape
+        return _HEADER.pack(b"R", height, width) + image.tobytes()
+
+    def decode(self, payload: bytes) -> np.ndarray:
+        tag, height, width = _HEADER.unpack_from(payload, 0)
+        if tag != b"R":
+            raise ValueError("not a RAW payload")
+        pixels = np.frombuffer(
+            payload, dtype=np.uint8, count=height * width, offset=_HEADER.size
+        )
+        return pixels.reshape(height, width).copy()

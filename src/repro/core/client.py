@@ -1,0 +1,125 @@
+"""The VisualPrint client library.
+
+Per frame: extract SIFT keypoints, query the downloaded uniqueness
+oracle for every descriptor (constant time each), rank, keep the top-k,
+serialize.  The client also keeps the running statistics the paper's
+client-overhead figures report (per-stage latency, cumulative upload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import VisualPrintConfig
+from repro.core.fingerprint import Fingerprint
+from repro.core.oracle import UniquenessOracle
+from repro.features.keypoint import KeypointSet
+from repro.features.sift import SiftExtractor, SiftParams
+from repro.util.timing import Stopwatch
+
+__all__ = ["ClientStats", "VisualPrintClient"]
+
+
+@dataclass
+class ClientStats:
+    """Running client-side accounting (Figs. 14 and 16)."""
+
+    frames_processed: int = 0
+    frames_rejected_blur: int = 0
+    keypoints_extracted: int = 0
+    keypoints_uploaded: int = 0
+    bytes_uploaded: int = 0
+    sift_seconds: list[float] = field(default_factory=list)
+    oracle_seconds: list[float] = field(default_factory=list)
+
+
+class VisualPrintClient:
+    """Extract → rank by uniqueness → upload only the top-k."""
+
+    def __init__(
+        self,
+        oracle: UniquenessOracle,
+        config: VisualPrintConfig | None = None,
+        sift_params: SiftParams | None = None,
+        blur_detector: "BlurDetector | None" = None,
+    ) -> None:
+        self.oracle = oracle
+        self.config = config or oracle.config
+        self._extractor = SiftExtractor(
+            sift_params or SiftParams(contrast_threshold=0.01)
+        )
+        # Optional frame gate: "performs a quick check on each frame to
+        # detect blur ... discarding such frames" (paper, client app).
+        self.blur_detector = blur_detector
+        self.stats = ClientStats()
+        self._watch = Stopwatch()
+
+    def extract_keypoints(self, image: np.ndarray) -> KeypointSet:
+        """SIFT extraction with latency accounting."""
+        with self._watch.measure("sift"):
+            keypoints = self._extractor.extract(image)
+        self.stats.sift_seconds.append(self._watch.samples("sift")[-1])
+        return keypoints
+
+    def fingerprint_keypoints(
+        self, keypoints: KeypointSet, frame_index: int = 0
+    ) -> Fingerprint:
+        """Rank pre-extracted keypoints by uniqueness and keep the top-k."""
+        config = self.config
+        if len(keypoints) == 0:
+            fingerprint = Fingerprint(
+                keypoints=keypoints,
+                uniqueness_counts=np.empty(0, dtype=np.int64),
+                frame_index=frame_index,
+            )
+            self._account(keypoints, fingerprint)
+            return fingerprint
+        with self._watch.measure("oracle"):
+            counts = self.oracle.counts(keypoints.descriptors)
+            order = self.oracle.rank_by_uniqueness(
+                keypoints.descriptors, counts=counts
+            )
+            kept = order[: config.fingerprint_size]
+        self.stats.oracle_seconds.append(self._watch.samples("oracle")[-1])
+        fingerprint = Fingerprint(
+            keypoints=keypoints.select(kept),
+            uniqueness_counts=counts[kept],
+            frame_index=frame_index,
+        )
+        self._account(keypoints, fingerprint)
+        return fingerprint
+
+    def process_frame(
+        self, image: np.ndarray, frame_index: int = 0
+    ) -> Fingerprint | None:
+        """Full per-frame pipeline: blur gate, extract, rank, fingerprint.
+
+        Returns ``None`` when the frame is rejected as blurred (nothing
+        is uploaded for it) — only possible when a
+        :class:`repro.features.BlurDetector` was supplied.
+        """
+        if self.blur_detector is not None and self.blur_detector.is_blurred(image):
+            self.stats.frames_rejected_blur += 1
+            return None
+        keypoints = self.extract_keypoints(image)
+        return self.fingerprint_keypoints(keypoints, frame_index=frame_index)
+
+    def _account(self, keypoints: KeypointSet, fingerprint: Fingerprint) -> None:
+        self.stats.frames_processed += 1
+        self.stats.keypoints_extracted += len(keypoints)
+        self.stats.keypoints_uploaded += len(fingerprint)
+        self.stats.bytes_uploaded += fingerprint.upload_bytes
+
+    def median_latency(self, stage: str) -> float:
+        """Median per-frame seconds for ``"sift"`` or ``"oracle"``."""
+        samples = {
+            "sift": self.stats.sift_seconds,
+            "oracle": self.stats.oracle_seconds,
+        }.get(stage)
+        if samples is None:
+            raise ValueError(f"unknown stage {stage!r}")
+        if not samples:
+            return 0.0
+        return float(np.median(samples))

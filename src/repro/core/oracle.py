@@ -1,0 +1,226 @@
+"""The uniqueness "oracle": locality-sensitive counting Bloom filters.
+
+Indexing (Fig. 8, top): a descriptor is E2LSH-quantized into ``L``
+bucket vectors; each bucket vector is Murmur-3 hashed ``K`` ways into
+the shared counting Bloom filter, bumping ``K`` saturating counters per
+table.  Every insertion also records its counter-position tuple in the
+verification Bloom filter.
+
+Lookup (Fig. 8, bottom): a query descriptor's count estimate is the
+minimum probed counter across all tables — an upper bound on how many
+database descriptors share its neighborhood, i.e. its *commonness*.
+Multiprobe re-checks the two most likely adjacent quantization cells per
+table (off-by-one rescue), and the verification filter vetoes positives
+whose position tuple was never actually inserted.
+
+The structure is "aggressively probabilistic — false positives create a
+minimal performance penalty" — a keypoint wrongly counted as common just
+loses its spot in the fingerprint to the next-most-unique one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bloom.container import BloomSnapshot, serialize_counting
+from repro.bloom.counting import CountingBloomFilter
+from repro.bloom.verification import VerificationBloomFilter
+from repro.core.config import VisualPrintConfig
+from repro.hashing.families import Murmur3Family
+from repro.lsh.buckets import QuantizedBuckets
+from repro.lsh.projections import StableProjections
+
+__all__ = ["OracleLookup", "UniquenessOracle"]
+
+
+@dataclass(frozen=True)
+class OracleLookup:
+    """Detailed lookup result for one descriptor."""
+
+    count: int  # minimum-counter commonness estimate
+    present: bool  # passed membership (with multiprobe) + verification
+    used_multiprobe: bool  # the accepting probe was a perturbed bucket
+
+
+class UniquenessOracle:
+    """Compact, downloadable commonness estimator for SIFT descriptors."""
+
+    def __init__(self, config: VisualPrintConfig | None = None) -> None:
+        self.config = config or VisualPrintConfig()
+        cfg = self.config
+        self.projections = StableProjections(cfg.lsh, seed=cfg.seed)
+        self.counting = CountingBloomFilter(
+            num_counters=cfg.num_counters,
+            num_hashes=cfg.bloom_hashes,
+            bits_per_counter=cfg.bits_per_counter,
+            seed=cfg.seed + 101,
+        )
+        self.verification = VerificationBloomFilter(
+            num_bits=cfg.verification_bits, seed=cfg.seed + 202
+        )
+        # One Murmur-3 family per LSH table so tables probe independent
+        # positions of the shared counter array.
+        self._families = [
+            Murmur3Family(
+                num_hashes=cfg.bloom_hashes,
+                table_size=cfg.num_counters,
+                base_seed=cfg.seed + 1000 + table * cfg.bloom_hashes,
+            )
+            for table in range(cfg.lsh.num_tables)
+        ]
+        self._inserted = 0
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    @property
+    def inserted_count(self) -> int:
+        return self._inserted
+
+    def insert(self, descriptors: np.ndarray, batch_size: int = 20_000) -> None:
+        """Index descriptors: bump K counters per table per descriptor."""
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        if descriptors.ndim != 2:
+            raise ValueError(f"descriptors must be 2-D, got {descriptors.shape}")
+        for start in range(0, descriptors.shape[0], batch_size):
+            self._insert_batch(descriptors[start : start + batch_size])
+
+    def _insert_batch(self, descriptors: np.ndarray) -> None:
+        quantized = QuantizedBuckets(self.projections.quantize(descriptors))
+        saturation = self.counting.saturation
+        counters = self.counting.counters
+        for table, family in enumerate(self._families):
+            vectors = quantized.table_vectors(table)
+            indices = family.indices(vectors)  # (n, K)
+            flat = indices.ravel()
+            increments = np.zeros(self.counting.num_counters, dtype=np.int64)
+            np.add.at(increments, flat, 1)
+            touched = np.flatnonzero(increments)
+            summed = counters[touched].astype(np.int64) + increments[touched]
+            counters[touched] = np.minimum(summed, saturation).astype(np.uint16)
+            self.verification.add(indices)
+        self._inserted += descriptors.shape[0]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def counts(self, descriptors: np.ndarray) -> np.ndarray:
+        """Commonness estimate per descriptor (vectorized hot path).
+
+        The classic counting-filter estimate: minimum over every probed
+        counter (K per table, across all L tables).  A nonzero minimum
+        means the descriptor landed in a populated bucket in *every*
+        table — i.e. it is cleanly present in the global database — and
+        the value bounds how often.  Sensor noise that knocks a
+        descriptor out of even one table's bucket drives the estimate to
+        zero; combined with the count-0-last rule in
+        :meth:`rank_by_uniqueness`, the fingerprint therefore
+        concentrates on keypoints that are simultaneously *rare*,
+        *present*, and *cleanly observed* — precisely the ones the
+        server can match.  The client calls this on every extracted
+        keypoint each frame, so it stays constant-time per keypoint:
+        quantize, hash, gather, min-reduce.
+        """
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        quantized = QuantizedBuckets(self.projections.quantize(descriptors))
+        counters = self.counting.counters
+        estimate = np.full(
+            descriptors.shape[0], np.iinfo(np.int64).max, dtype=np.int64
+        )
+        for table, family in enumerate(self._families):
+            indices = family.indices(quantized.table_vectors(table))
+            table_min = counters[indices].min(axis=1).astype(np.int64)
+            np.minimum(estimate, table_min, out=estimate)
+        return estimate
+
+    def lookup(self, descriptor: np.ndarray) -> OracleLookup:
+        """Full lookup with multiprobe and verification for one descriptor.
+
+        Implements the paper's retrieval path: the original bucket plus
+        multiprobe perturbations are checked per table; a probe passes on
+        a full K-match, or on a K-1 partial match (the off-by-one false
+        negative case); either way the verification filter must confirm
+        the probe's position tuple.
+        """
+        from repro.lsh.multiprobe import perturbation_sets
+
+        descriptor = np.asarray(descriptor, dtype=np.float32).reshape(1, -1)
+        buckets, residuals = self.projections.quantize_with_residuals(descriptor)
+        quantized = QuantizedBuckets(buckets)
+        counters = self.counting.counters
+        accepting_tables = 0
+        used_multiprobe = False
+        for table, family in enumerate(self._families):
+            probes: list[tuple[np.ndarray, bool]] = [
+                (quantized.table_vectors(table)[0], False)
+            ]
+            for projection, delta in perturbation_sets(
+                residuals[0, table, :], self.config.max_probes_per_table
+            ):
+                probes.append((quantized.perturbed(table, projection, delta)[0], True))
+            for vector, is_probe in probes:
+                indices = family.indices(vector[np.newaxis, :])
+                probed = counters[indices[0]]
+                nonzero = int((probed > 0).sum())
+                full_match = nonzero == self.config.bloom_hashes
+                partial_match = nonzero == self.config.bloom_hashes - 1
+                if not (full_match or partial_match):
+                    continue
+                if not bool(self.verification.verify(indices)[0]):
+                    continue
+                accepting_tables += 1
+                used_multiprobe = used_multiprobe or is_probe
+                break  # original bucket first; stop at the first accept
+        # Presence needs a quorum of tables: with coarse quantization
+        # (W = 500) a few "hotspot" buckets absorb many descriptors, so a
+        # single-table accept is exactly the LSH/Bloom-interplay false
+        # positive the paper warns about.  Requiring agreement from half
+        # the tables mirrors the median aggregation of :meth:`counts`.
+        present = accepting_tables >= (self.config.lsh.num_tables + 1) // 2
+        best_count = int(self.counts(descriptor)[0])
+        return OracleLookup(
+            count=best_count, present=present, used_multiprobe=used_multiprobe
+        )
+
+    def rank_by_uniqueness(
+        self, descriptors: np.ndarray, counts: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Keypoint indices ordered most-unique first.
+
+        "Uniqueness counts ... yield a partial ordering, ranking
+        keypoints from highly unique to common."  Saturated counts sort
+        last; ties break by original order (stable sort) so the ranking
+        is deterministic.
+        """
+        if counts is None:
+            counts = self.counts(descriptors)
+        capped = np.minimum(counts, self.counting.saturation)
+        # Count 0 means "definitely not in the global database" — such
+        # keypoints (sensor noise, blur artifacts) cannot match anything
+        # server-side, so they rank after every present keypoint.  The
+        # most valuable features appear globally, but rarely.
+        sort_key = np.where(capped == 0, self.counting.saturation + 1, capped)
+        return np.argsort(sort_key, kind="stable")
+
+    # ------------------------------------------------------------------
+    # Transfer
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> BloomSnapshot:
+        """The GZIP'd download the client fetches ("approximately 10MB")."""
+        return serialize_counting(self.counting)
+
+    def download_bytes(self) -> int:
+        """Size of the compressed client download (counting + verification)."""
+        import gzip
+
+        verification_payload = gzip.compress(self.verification.packed_bytes(), 6)
+        return self.snapshot().compressed_bytes + len(verification_payload)
+
+    def storage_bytes(self) -> int:
+        """Uncompressed logical size (Fig. 15's in-memory VisualPrint bar)."""
+        return self.counting.storage_bytes() + self.verification.storage_bytes()

@@ -1,0 +1,85 @@
+"""Server-state persistence.
+
+A production VisualPrint cloud service survives restarts: the
+keypoint-to-3D table and the oracle are its only state.  This module
+serializes both to a single ``.npz`` (descriptors, positions, oracle
+counters, verification bits, and configuration), from which an
+equivalent server is reconstructed — equivalent meaning: identical
+oracle counts and identical lookup results, verified in the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import VisualPrintConfig
+from repro.core.server import VisualPrintServer
+from repro.lsh.projections import E2LSHParams
+
+__all__ = ["load_server", "save_server"]
+
+_FORMAT_VERSION = 1
+
+
+def save_server(server: VisualPrintServer, path: str | Path) -> None:
+    """Write the server's full state to ``path`` (.npz)."""
+    path = Path(path)
+    config = server.config
+    config_dict = asdict(config)
+    config_dict["lsh"] = asdict(config.lsh)
+    low, high = server.bounds()
+    descriptors = (
+        np.vstack(server._descriptors)
+        if server._descriptors
+        else np.empty((0, 128), dtype=np.float32)
+    )
+    np.savez_compressed(
+        path,
+        format_version=np.array([_FORMAT_VERSION]),
+        config_json=np.frombuffer(
+            json.dumps(config_dict).encode("utf-8"), dtype=np.uint8
+        ),
+        descriptors=descriptors,
+        positions=server.positions,
+        bounds_low=low,
+        bounds_high=high,
+        oracle_counters=server.oracle.counting.counters,
+        verification_bits=np.frombuffer(
+            server.oracle.verification.packed_bytes(), dtype=np.uint8
+        ),
+        inserted_count=np.array([server.oracle.inserted_count]),
+    )
+
+
+def load_server(path: str | Path) -> VisualPrintServer:
+    """Reconstruct a server saved by :func:`save_server`."""
+    path = Path(path)
+    with np.load(path) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported server state version {version}")
+        config_dict = json.loads(bytes(data["config_json"]).decode("utf-8"))
+        lsh = E2LSHParams(**config_dict.pop("lsh"))
+        config = VisualPrintConfig(lsh=lsh, **config_dict)
+        bounds = (data["bounds_low"].copy(), data["bounds_high"].copy())
+        server = VisualPrintServer(config, bounds=bounds)
+
+        descriptors = data["descriptors"]
+        positions = data["positions"]
+        if descriptors.shape[0]:
+            # Rebuild the lookup table without re-curating the oracle —
+            # the saved counters are authoritative.
+            server._descriptors = [descriptors.copy()]
+            server._positions = [positions.copy()]
+            all_ids = np.arange(descriptors.shape[0])
+            server.lookup.build(descriptors, all_ids)
+        server.oracle.counting.counters = data["oracle_counters"].copy()
+        server.oracle.verification.load_packed_bytes(
+            bytes(data["verification_bits"])
+        )
+        server.oracle._inserted = int(data["inserted_count"][0])
+    return server

@@ -1,0 +1,201 @@
+"""The VisualPrint cloud service.
+
+Maintains the two server data structures of the paper: (1) the
+keypoint-to-3D-position LSH lookup table and (2) the LSH-indexed
+counting Bloom filters (the uniqueness oracle clients download).  "As
+new keypoint-to-location mappings can be incorporated continuously, in
+constant time and memory" — :meth:`ingest` updates both structures
+incrementally.
+
+For localization queries the server retrieves ``n`` nearest 3D points
+per fingerprint keypoint, keeps the largest spatial cluster, and runs
+the angular-constraint solver (:mod:`repro.localization`).
+
+For the Fig. 13 retrieval experiments the same machinery answers
+scene-identification queries over an image database (labels instead of
+3D positions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import VisualPrintConfig
+from repro.core.fingerprint import Fingerprint
+from repro.core.oracle import UniquenessOracle
+from repro.geometry.camera import CameraIntrinsics
+from repro.geometry.pose import Pose
+from repro.localization.clustering import largest_cluster
+from repro.localization.solver import (
+    AngularLocalizer,
+    LocalizationProblem,
+    LocalizationSolution,
+)
+from repro.lsh import LshIndex
+
+__all__ = ["LocalizationAnswer", "VisualPrintServer"]
+
+
+@dataclass(frozen=True)
+class LocalizationAnswer:
+    """Server reply to a localization query."""
+
+    pose: Pose
+    solution: LocalizationSolution
+    matched_points: int
+    clustered_points: int
+
+
+class VisualPrintServer:
+    """Cloud-side state: keypoint->3D table + uniqueness oracle."""
+
+    def __init__(
+        self,
+        config: VisualPrintConfig | None = None,
+        bounds: tuple[np.ndarray, np.ndarray] | None = None,
+        intrinsics: CameraIntrinsics | None = None,
+    ) -> None:
+        self.config = config or VisualPrintConfig()
+        self.oracle = UniquenessOracle(self.config)
+        # The lookup table shares the oracle's LSH parameters but is a
+        # separate structure (it stores payloads, not counters).
+        self.lookup = LshIndex(
+            params=self.config.lsh,
+            seed=self.config.seed + 7,
+            max_probes_per_table=self.config.max_probes_per_table,
+        )
+        self.intrinsics = intrinsics or CameraIntrinsics()
+        self._descriptors: list[np.ndarray] = []
+        self._positions: list[np.ndarray] = []
+        self._bounds = bounds
+        self._localizer = AngularLocalizer(seed=self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Ingest (wardriving)
+    # ------------------------------------------------------------------
+
+    def ingest(self, descriptors: np.ndarray, positions_3d: np.ndarray) -> None:
+        """Add keypoint-to-3D mappings from a wardriving session."""
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        positions_3d = np.asarray(positions_3d, dtype=np.float64)
+        if descriptors.shape[0] != positions_3d.shape[0]:
+            raise ValueError("descriptors and positions must align")
+        self._descriptors.append(descriptors)
+        self._positions.append(positions_3d)
+        self.oracle.insert(descriptors)
+        # Rebuilding keeps the index consistent after each batch; the
+        # real service appends, but our batch sizes make rebuild cheap.
+        all_descriptors = np.vstack(self._descriptors)
+        self.lookup.build(all_descriptors, np.arange(all_descriptors.shape[0]))
+
+    @property
+    def num_mappings(self) -> int:
+        return sum(d.shape[0] for d in self._descriptors)
+
+    @property
+    def positions(self) -> np.ndarray:
+        if not self._positions:
+            return np.empty((0, 3))
+        return np.vstack(self._positions)
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Venue extents for the solver's search box."""
+        if self._bounds is not None:
+            return self._bounds
+        positions = self.positions
+        if positions.shape[0] == 0:
+            return np.zeros(3), np.ones(3)
+        return positions.min(axis=0) - 1.0, positions.max(axis=0) + 1.0
+
+    # ------------------------------------------------------------------
+    # Client download
+    # ------------------------------------------------------------------
+
+    def publish_oracle(self) -> UniquenessOracle:
+        """What the client downloads (here: a shared reference)."""
+        return self.oracle
+
+    # ------------------------------------------------------------------
+    # Localization queries
+    # ------------------------------------------------------------------
+
+    def localize(self, fingerprint: Fingerprint) -> LocalizationAnswer:
+        """Answer a fingerprint query with a 6-DoF pose estimate."""
+        low, high = self.bounds()
+        positions = self.positions
+        matches = self.lookup.query_batch(
+            fingerprint.keypoints.descriptors,
+            num_neighbors=self.config.nearest_neighbors_per_keypoint,
+        )
+        pixel_rows: list[int] = []
+        point_rows: list[int] = []
+        for row, row_matches in enumerate(matches):
+            for match in row_matches:
+                pixel_rows.append(row)
+                point_rows.append(match.item_id)
+        matched = len(point_rows)
+        if matched == 0:
+            center = (low + high) / 2.0
+            fallback = LocalizationSolution(
+                pose=Pose(x=center[0], y=center[1], z=center[2]),
+                residual=np.inf,
+                num_pairs=0,
+                converged=False,
+            )
+            return LocalizationAnswer(
+                pose=fallback.pose,
+                solution=fallback,
+                matched_points=0,
+                clustered_points=0,
+            )
+
+        candidate_points = positions[point_rows]
+        kept = largest_cluster(
+            candidate_points,
+            eps=self.config.cluster_radius,
+            min_samples=self.config.min_cluster_size,
+        )
+        if kept.size < 3:
+            kept = np.arange(candidate_points.shape[0])
+        # One 3D point per keypoint: if several of a keypoint's neighbors
+        # survive clustering, keep its closest-descriptor match (first).
+        pixels = fingerprint.keypoints.positions
+        seen: set[int] = set()
+        final_pixels: list[np.ndarray] = []
+        final_points: list[np.ndarray] = []
+        for index in kept:
+            keypoint_row = pixel_rows[index]
+            if keypoint_row in seen:
+                continue
+            seen.add(keypoint_row)
+            final_pixels.append(pixels[keypoint_row])
+            final_points.append(candidate_points[index])
+
+        problem = LocalizationProblem(
+            pixels=np.array(final_pixels),
+            world_points=np.array(final_points),
+            intrinsics=self.intrinsics,
+            bounds_low=low,
+            bounds_high=high,
+        )
+        solution = self._localizer.solve(problem)
+        return LocalizationAnswer(
+            pose=solution.pose,
+            solution=solution,
+            matched_points=matched,
+            clustered_points=int(kept.size),
+        )
+
+    # ------------------------------------------------------------------
+    # Footprints (Fig. 15 / takeaways)
+    # ------------------------------------------------------------------
+
+    def lookup_memory_bytes(self) -> int:
+        """Server-side LSH table RAM (the 9.4 GB-class number)."""
+        return self.lookup.memory_bytes()
+
+    def oracle_download_bytes(self) -> int:
+        """Compressed oracle download size (the ~10 MB number)."""
+        return self.oracle.download_bytes()

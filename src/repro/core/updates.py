@@ -1,0 +1,105 @@
+"""Incremental oracle updates — the paper's named future work.
+
+"The app periodically refreshes its copy of the Bloom filter to stay
+current with the server.  We could reduce data transfer by sending only
+a compressed bitmask representing the diff between versions (not yet
+implemented)."
+
+This module implements that diff path.  Counting-filter versions differ
+only where new insertions landed, so a delta is naturally sparse: we
+encode the changed counter positions and their new values, then GZIP.
+For modest growth between refreshes the delta is a small fraction of a
+full snapshot; :func:`choose_refresh_payload` picks whichever is smaller
+(heavy growth eventually favors the full snapshot, which the format
+signals explicitly).
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bloom.counting import CountingBloomFilter
+from repro.core.oracle import UniquenessOracle
+
+__all__ = [
+    "OracleDelta",
+    "apply_delta",
+    "choose_refresh_payload",
+    "diff_counting_filters",
+]
+
+_MAGIC = b"VPDT"
+_HEADER = struct.Struct("<4sIII")  # magic, version, num_counters, num_changes
+
+
+@dataclass(frozen=True)
+class OracleDelta:
+    """A compressed counter diff between two oracle versions."""
+
+    payload: bytes
+    num_changes: int
+    raw_bytes: int
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.payload)
+
+
+def diff_counting_filters(
+    old: CountingBloomFilter, new: CountingBloomFilter, gzip_level: int = 6
+) -> OracleDelta:
+    """Encode the counters that changed between two filter versions."""
+    if old.num_counters != new.num_counters:
+        raise ValueError("filters must have the same geometry to diff")
+    if old.num_hashes != new.num_hashes:
+        raise ValueError("filters must share their hash configuration")
+    changed = np.flatnonzero(old.counters != new.counters)
+    body = (
+        changed.astype("<u4").tobytes()
+        + new.counters[changed].astype("<u2").tobytes()
+    )
+    raw = _HEADER.pack(_MAGIC, 1, new.num_counters, changed.size) + body
+    return OracleDelta(
+        payload=gzip.compress(raw, compresslevel=gzip_level),
+        num_changes=int(changed.size),
+        raw_bytes=len(raw),
+    )
+
+
+def apply_delta(base: CountingBloomFilter, delta: OracleDelta) -> None:
+    """Patch ``base`` in place to the delta's target version."""
+    raw = gzip.decompress(delta.payload)
+    magic, version, num_counters, num_changes = _HEADER.unpack_from(raw, 0)
+    if magic != _MAGIC:
+        raise ValueError("not a VisualPrint oracle delta (bad magic)")
+    if version != 1:
+        raise ValueError(f"unsupported delta version {version}")
+    if num_counters != base.num_counters:
+        raise ValueError(
+            f"delta targets {num_counters} counters, filter has {base.num_counters}"
+        )
+    offset = _HEADER.size
+    indices = np.frombuffer(raw, dtype="<u4", count=num_changes, offset=offset)
+    offset += num_changes * 4
+    values = np.frombuffer(raw, dtype="<u2", count=num_changes, offset=offset)
+    base.counters[indices.astype(np.int64)] = values
+
+
+def choose_refresh_payload(
+    old_oracle: UniquenessOracle, new_oracle: UniquenessOracle
+) -> tuple[str, bytes]:
+    """Pick the cheaper client refresh: counter delta or full snapshot.
+
+    Returns ``("delta", payload)`` or ``("snapshot", payload)``.  The two
+    oracles must share configuration (the client's copy is always an
+    older version of the server's, so this holds by construction).
+    """
+    delta = diff_counting_filters(old_oracle.counting, new_oracle.counting)
+    snapshot = new_oracle.snapshot()
+    if delta.compressed_bytes < snapshot.compressed_bytes:
+        return "delta", delta.payload
+    return "snapshot", snapshot.payload

@@ -1,0 +1,19 @@
+"""Smartphone power model (Fig. 18's Monsoon-meter substitute).
+
+Component plateaus are anchored to the paper's measured values on the
+Galaxy S5: display ≈ 1 W, display+camera ≈ 3.5 W, full VisualPrint
+(display+camera+compute+upload) ≈ 6.5 W, whole-frame offload ≈ 4.9 W.
+The model emits Monsoon-style sampled traces so the Fig. 18 time-series
+reproduction uses the same plotting machinery as real measurements.
+"""
+
+from repro.energy.power import COMPONENT_WATTS, PowerModel, PowerProfile
+from repro.energy.trace import PowerTrace, sample_trace
+
+__all__ = [
+    "COMPONENT_WATTS",
+    "PowerModel",
+    "PowerProfile",
+    "PowerTrace",
+    "sample_trace",
+]

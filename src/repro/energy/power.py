@@ -1,0 +1,109 @@
+"""Component power model.
+
+Five measurement configurations appear in Fig. 18: display only,
+display+camera, VisualPrint computation only, VisualPrint upload only,
+and the complete pipeline.  Each is a sum of component plateaus; duty
+cycles modulate the compute and radio terms (SIFT runs continuously,
+the radio only while payloads are in flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["COMPONENT_WATTS", "PowerModel", "PowerProfile"]
+
+# Plateau wattage per component, anchored to the paper's Fig. 18 levels.
+COMPONENT_WATTS: dict[str, float] = {
+    "baseline": 0.35,  # Android idle, background services
+    "display": 0.80,
+    "camera": 2.30,
+    "compute_sift": 2.40,  # CPU during SIFT extraction
+    "compute_oracle": 0.45,  # Bloom lookups + sort (short bursts)
+    "radio_active": 1.30,  # WiFi TX plateau
+}
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Which components a configuration keeps on, with duty cycles."""
+
+    name: str
+    display: bool = False
+    camera: bool = False
+    compute_sift_duty: float = 0.0  # fraction of time the CPU runs SIFT
+    compute_oracle_duty: float = 0.0
+    radio_duty: float = 0.0  # fraction of time the radio transmits
+
+    def __post_init__(self) -> None:
+        check_in_range("compute_sift_duty", self.compute_sift_duty, 0.0, 1.0)
+        check_in_range("compute_oracle_duty", self.compute_oracle_duty, 0.0, 1.0)
+        check_in_range("radio_duty", self.radio_duty, 0.0, 1.0)
+
+
+@dataclass
+class PowerModel:
+    """Average power of a profile, plus the Fig. 18 preset profiles."""
+
+    watts: dict[str, float] = field(default_factory=lambda: dict(COMPONENT_WATTS))
+
+    def average_power(self, profile: PowerProfile) -> float:
+        """Mean wattage of a configuration."""
+        total = self.watts["baseline"]
+        if profile.display:
+            total += self.watts["display"]
+        if profile.camera:
+            total += self.watts["camera"]
+        total += profile.compute_sift_duty * self.watts["compute_sift"]
+        total += profile.compute_oracle_duty * self.watts["compute_oracle"]
+        total += profile.radio_duty * self.watts["radio_active"]
+        return total
+
+    def energy_joules(self, profile: PowerProfile, seconds: float) -> float:
+        check_positive("seconds", seconds)
+        return self.average_power(profile) * seconds
+
+    @staticmethod
+    def figure18_profiles(
+        visualprint_radio_duty: float = 0.08,
+        frame_upload_radio_duty: float = 0.85,
+    ) -> dict[str, PowerProfile]:
+        """The five measured configurations plus whole-frame offload.
+
+        Radio duty cycles fall out of payload sizes: fingerprints occupy
+        the uplink a few percent of the time, whole frames nearly
+        always (which is also why frame upload throttles its FPS).
+        """
+        return {
+            "display": PowerProfile(name="display", display=True),
+            "camera": PowerProfile(name="camera", display=True, camera=True),
+            "visualprint_compute": PowerProfile(
+                name="visualprint_compute",
+                display=True,
+                camera=True,
+                compute_sift_duty=0.95,
+                compute_oracle_duty=0.6,
+            ),
+            "visualprint_upload": PowerProfile(
+                name="visualprint_upload",
+                display=True,
+                camera=True,
+                radio_duty=visualprint_radio_duty,
+            ),
+            "visualprint_full": PowerProfile(
+                name="visualprint_full",
+                display=True,
+                camera=True,
+                compute_sift_duty=0.95,
+                compute_oracle_duty=0.6,
+                radio_duty=visualprint_radio_duty,
+            ),
+            "frame_upload": PowerProfile(
+                name="frame_upload",
+                display=True,
+                camera=True,
+                radio_duty=frame_upload_radio_duty,
+            ),
+        }

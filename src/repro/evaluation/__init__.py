@@ -1,0 +1,26 @@
+"""Evaluation harness: workloads, metrics, and one driver per figure.
+
+``repro.evaluation.experiments`` contains a module per paper artifact
+(fig2 ... fig20, takeaways); each exposes ``run(...) -> dict`` returning
+the figure's series/rows and a ``main()`` that prints them.  The
+benchmarks in ``benchmarks/`` call these drivers.
+"""
+
+from repro.evaluation.datasets import RetrievalWorkload, build_workload
+from repro.evaluation.retrieval import (
+    evaluate_scheme_cdfs,
+    run_bruteforce,
+    run_lsh,
+    run_random,
+    run_visualprint,
+)
+
+__all__ = [
+    "RetrievalWorkload",
+    "build_workload",
+    "evaluate_scheme_cdfs",
+    "run_bruteforce",
+    "run_lsh",
+    "run_random",
+    "run_visualprint",
+]

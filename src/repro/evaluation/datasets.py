@@ -1,0 +1,188 @@
+"""Retrieval workload construction (the paper's CSL dataset, synthetic).
+
+"We photographed 100 non-overlapping scenes ... We also capture 400
+additional distractor images ... The query database consists of five
+additional photographs of each scene ... from substantially different
+angles."  :func:`build_workload` reproduces that structure from
+:class:`repro.imaging.SceneLibrary` and extracts SIFT keypoints for
+every image.
+
+Extraction over hundreds of images takes minutes, so workloads cache to
+``.cache/`` as ``.npz`` keyed by their parameters; delete the directory
+to force regeneration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.features import KeypointSet, SiftExtractor, SiftParams
+from repro.imaging.synth import SceneLibrary
+
+__all__ = ["RetrievalWorkload", "build_workload"]
+
+DISTRACTOR_LABEL = -1
+
+
+@dataclass
+class RetrievalWorkload:
+    """Database + query keypoints for the Fig. 13 experiments."""
+
+    database_keypoints: list[KeypointSet]
+    database_labels: list[int]  # scene id, or -1 for distractors
+    query_keypoints: list[KeypointSet]
+    query_labels: list[int]  # true scene id per query
+    num_scenes: int
+
+    @property
+    def num_database_images(self) -> int:
+        return len(self.database_keypoints)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.query_keypoints)
+
+    @property
+    def num_database_descriptors(self) -> int:
+        return sum(len(k) for k in self.database_keypoints)
+
+    def mean_query_keypoints(self) -> float:
+        if not self.query_keypoints:
+            return 0.0
+        return float(np.mean([len(k) for k in self.query_keypoints]))
+
+
+def _cache_key(**params: object) -> str:
+    canonical = ",".join(f"{k}={params[k]}" for k in sorted(params))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _keypoints_to_arrays(keypoints: KeypointSet) -> dict[str, np.ndarray]:
+    return {
+        "positions": keypoints.positions,
+        "scales": keypoints.scales,
+        "orientations": keypoints.orientations,
+        "responses": keypoints.responses,
+        "descriptors": keypoints.descriptors,
+    }
+
+
+def _save_workload(path: Path, workload: RetrievalWorkload) -> None:
+    arrays: dict[str, np.ndarray] = {
+        "database_labels": np.array(workload.database_labels, dtype=np.int64),
+        "query_labels": np.array(workload.query_labels, dtype=np.int64),
+        "num_scenes": np.array([workload.num_scenes]),
+    }
+    for prefix, sets in (
+        ("db", workload.database_keypoints),
+        ("q", workload.query_keypoints),
+    ):
+        arrays[f"{prefix}_counts"] = np.array([len(k) for k in sets], dtype=np.int64)
+        for name, stacked in _keypoints_to_arrays(
+            KeypointSet.concatenate(sets)
+        ).items():
+            arrays[f"{prefix}_{name}"] = stacked
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def _split_keypoints(
+    data: np.lib.npyio.NpzFile, prefix: str
+) -> list[KeypointSet]:
+    counts = data[f"{prefix}_counts"]
+    boundaries = np.cumsum(counts)[:-1]
+    fields = {
+        name: np.split(data[f"{prefix}_{name}"], boundaries)
+        for name in ("positions", "scales", "orientations", "responses", "descriptors")
+    }
+    return [
+        KeypointSet(
+            positions=fields["positions"][i],
+            scales=fields["scales"][i],
+            orientations=fields["orientations"][i],
+            responses=fields["responses"][i],
+            descriptors=fields["descriptors"][i],
+        )
+        for i in range(len(counts))
+    ]
+
+
+def _load_workload(path: Path) -> RetrievalWorkload:
+    with np.load(path) as data:
+        return RetrievalWorkload(
+            database_keypoints=_split_keypoints(data, "db"),
+            database_labels=[int(v) for v in data["database_labels"]],
+            query_keypoints=_split_keypoints(data, "q"),
+            query_labels=[int(v) for v in data["query_labels"]],
+            num_scenes=int(data["num_scenes"][0]),
+        )
+
+
+def build_workload(
+    seed: int = 7,
+    num_scenes: int = 100,
+    num_distractors: int = 400,
+    views_per_scene: int = 5,
+    image_size: int = 384,
+    contrast_threshold: float = 0.008,
+    cache_dir: str | Path | None = ".cache",
+    verbose: bool = False,
+) -> RetrievalWorkload:
+    """Build (or load from cache) the retrieval workload."""
+    params = dict(
+        seed=seed,
+        num_scenes=num_scenes,
+        num_distractors=num_distractors,
+        views_per_scene=views_per_scene,
+        image_size=image_size,
+        contrast_threshold=contrast_threshold,
+        version=2,  # bump when generation logic changes
+    )
+    cache_path = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir) / f"workload_{_cache_key(**params)}.npz"
+        if cache_path.exists():
+            return _load_workload(cache_path)
+
+    library = SceneLibrary(
+        seed=seed,
+        num_scenes=num_scenes,
+        num_distractors=num_distractors,
+        size=(image_size, image_size),
+        views_per_scene=views_per_scene,
+    )
+    extractor = SiftExtractor(SiftParams(contrast_threshold=contrast_threshold))
+
+    database_keypoints: list[KeypointSet] = []
+    database_labels: list[int] = []
+    for label, image in library.all_database_images():
+        database_keypoints.append(extractor.extract(image))
+        database_labels.append(label)
+        if verbose and len(database_labels) % 50 == 0:
+            print(f"  extracted {len(database_labels)} database images")
+
+    query_keypoints: list[KeypointSet] = []
+    query_labels: list[int] = []
+    for scene in range(num_scenes):
+        for view in range(views_per_scene):
+            query_keypoints.append(
+                extractor.extract(library.query_view(scene, view))
+            )
+            query_labels.append(scene)
+        if verbose and (scene + 1) % 20 == 0:
+            print(f"  extracted queries for {scene + 1} scenes")
+
+    workload = RetrievalWorkload(
+        database_keypoints=database_keypoints,
+        database_labels=database_labels,
+        query_keypoints=query_keypoints,
+        query_labels=query_labels,
+        num_scenes=num_scenes,
+    )
+    if cache_path is not None:
+        _save_workload(cache_path, workload)
+    return workload

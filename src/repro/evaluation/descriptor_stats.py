@@ -1,0 +1,67 @@
+"""Descriptor-dimension statistics (Fig. 6).
+
+(a) For each query descriptor matched to its database nearest neighbor,
+sort the per-dimension squared differences descending: a handful of
+dimensions carry most of the Euclidean distance — the observation that
+justifies projecting into a low-dimensional LSH space.
+
+(b) PCA of the descriptor population: "only a few PCA dimensions (far
+less than 128) are enough to account for the majority of covariance."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.bruteforce import BruteForceMatcher
+
+__all__ = [
+    "nearest_neighbor_dimension_profile",
+    "pca_eigenvalue_spectrum",
+    "dimensions_for_variance",
+]
+
+
+def nearest_neighbor_dimension_profile(
+    queries: np.ndarray, database: np.ndarray, sample: int | None = 2000
+) -> np.ndarray:
+    """Sorted per-dimension squared NN differences, shape ``(n, 128)``.
+
+    Row ``i`` is ``sort_descending((query_i - nn_i)^2)`` — the Fig. 6a
+    boxplot input (one boxplot per sorted rank).
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    database = np.asarray(database, dtype=np.float32)
+    if sample is not None and queries.shape[0] > sample:
+        step = queries.shape[0] // sample
+        queries = queries[::step][:sample]
+    matcher = BruteForceMatcher(database)
+    indices, _ = matcher.knn(queries.astype(np.float32), k=1)
+    matched = database[indices[:, 0]].astype(np.float64)
+    squared = (queries - matched) ** 2
+    return -np.sort(-squared, axis=1)
+
+
+def pca_eigenvalue_spectrum(descriptors: np.ndarray) -> np.ndarray:
+    """Normalized covariance eigenvalues, descending (Fig. 6b)."""
+    descriptors = np.asarray(descriptors, dtype=np.float64)
+    if descriptors.shape[0] < 2:
+        raise ValueError("need at least two descriptors for PCA")
+    centered = descriptors - descriptors.mean(axis=0)
+    covariance = centered.T @ centered / (descriptors.shape[0] - 1)
+    eigenvalues = np.linalg.eigvalsh(covariance)[::-1]
+    eigenvalues = np.maximum(eigenvalues, 0.0)
+    total = eigenvalues.sum()
+    if total <= 0:
+        raise ValueError("degenerate descriptor population")
+    return eigenvalues / total
+
+
+def dimensions_for_variance(
+    normalized_eigenvalues: np.ndarray, fraction: float = 0.9
+) -> int:
+    """How many PCA dimensions cover ``fraction`` of the variance."""
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    cumulative = np.cumsum(normalized_eigenvalues)
+    return int(np.searchsorted(cumulative, fraction) + 1)

@@ -1,0 +1,23 @@
+"""One driver module per paper artifact.
+
+Every module exposes ``run(**params) -> dict`` (the figure's series) and
+``main()`` (prints the rows the paper reports).  Benchmarks call
+``run``; ``python -m repro.evaluation.experiments.fig13_precision_recall``
+runs one standalone.
+"""
+
+__all__ = [
+    "fig2_fps",
+    "fig3_keypoints",
+    "fig5_feature_ratio",
+    "fig6_dimension_stats",
+    "fig13_precision_recall",
+    "fig14_upload",
+    "fig15_memory",
+    "fig16_latency",
+    "fig18_energy",
+    "fig19_localization",
+    "fig20_error_axes",
+    "latency_e2e",
+    "takeaways_exp",
+]

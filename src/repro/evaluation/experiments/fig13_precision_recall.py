@@ -1,0 +1,100 @@
+"""Figure 13: precision/recall CDFs for the five matching regimes.
+
+Expected shape: Random worst on both axes; VisualPrint-200 comparable to
+LSH; VisualPrint-500 at or slightly above LSH precision (the oracle
+discards distracting non-unique keypoints); BruteForce best recall.
+
+The default workload is a scaled version of the paper's (its image
+resolution and keypoint budgets are smaller by ~4x; fingerprint sizes
+scale with the keypoint budget — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.datasets import build_workload
+from repro.evaluation.retrieval import (
+    build_oracle,
+    build_scene_database,
+    evaluate_scheme_cdfs,
+    run_bruteforce,
+    run_lsh,
+    run_random,
+    run_visualprint,
+)
+from repro.matching import LshMatcher
+
+__all__ = ["run", "main"]
+
+
+def run(
+    seed: int = 7,
+    num_scenes: int = 50,
+    num_distractors: int = 200,
+    views_per_scene: int = 5,
+    image_size: int = 320,
+    small_count: int = 100,
+    large_count: int = 250,
+    random_count: int = 250,
+    min_votes: int = 5,
+    include_bruteforce: bool = True,
+    cache_dir: str | None = ".cache",
+) -> dict:
+    """Returns per-scheme precision/recall value arrays (CDF inputs)."""
+    workload = build_workload(
+        seed=seed,
+        num_scenes=num_scenes,
+        num_distractors=num_distractors,
+        views_per_scene=views_per_scene,
+        image_size=image_size,
+        cache_dir=cache_dir,
+    )
+    database = build_scene_database(workload)
+    oracle = build_oracle(workload)
+    matcher = LshMatcher(database.descriptors)
+
+    results = [
+        run_random(workload, database, matcher, count=random_count, min_votes=min_votes),
+        run_visualprint(
+            workload, database, matcher, oracle, count=small_count, min_votes=min_votes
+        ),
+        run_visualprint(
+            workload, database, matcher, oracle, count=large_count, min_votes=min_votes
+        ),
+        run_lsh(workload, database, matcher, min_votes=min_votes),
+    ]
+    if include_bruteforce:
+        results.append(run_bruteforce(workload, database, min_votes=min_votes))
+    cdfs = evaluate_scheme_cdfs(results, database)
+    return {
+        "cdfs": cdfs,
+        "mean_query_keypoints": workload.mean_query_keypoints(),
+        "num_database_descriptors": workload.num_database_descriptors,
+        "uploaded_keypoints": {
+            r.scheme: float(r.uploaded_keypoints.mean()) for r in results
+        },
+    }
+
+
+def main() -> None:
+    result = run()
+    print("Figure 13: per-scene precision/recall by scheme")
+    print(
+        f"(database: {result['num_database_descriptors']} descriptors, "
+        f"mean query keypoints {result['mean_query_keypoints']:.0f})"
+    )
+    print(f"{'scheme':<18} {'P p25':>6} {'P med':>6} {'P p75':>6} "
+          f"{'R p25':>6} {'R med':>6} {'R p75':>6} {'upload':>7}")
+    for scheme, pr in result["cdfs"].items():
+        p, r = pr["precision"], pr["recall"]
+        upload = result["uploaded_keypoints"][scheme]
+        print(
+            f"{scheme:<18} {np.percentile(p, 25):>6.2f} {np.median(p):>6.2f} "
+            f"{np.percentile(p, 75):>6.2f} {np.percentile(r, 25):>6.2f} "
+            f"{np.median(r):>6.2f} {np.percentile(r, 75):>6.2f} {upload:>7.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Figure 15: client disk/memory footprint per matching approach.
+
+Measured at our database scale from the live data structures, and
+evaluated at the paper's 2.5M-descriptor scale from the same sizing
+formulas (takeaways 3-4).  Expected shape (log scale): Random ~ 0,
+VisualPrint tens of MB, LSH and BruteForce orders of magnitude larger.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import VisualPrintConfig
+from repro.evaluation.footprint import (
+    format_footprint_table,
+    measured_footprints,
+    paper_scale_footprints,
+)
+
+__all__ = ["run", "main"]
+
+
+def run(num_descriptors: int = 500_000) -> dict:
+    """Returns footprints at our scale and at the paper's 2.5M scale."""
+    config = VisualPrintConfig(descriptor_capacity=num_descriptors)
+    ours = measured_footprints(num_descriptors, config)
+    paper = paper_scale_footprints()
+    by_name_paper = {fp.approach: fp for fp in paper}
+    lsh = by_name_paper["LSH"]
+    vp = by_name_paper["VisualPrint"]
+    return {
+        "measured": ours,
+        "paper_scale": paper,
+        "disk_ratio_lsh_over_vp": lsh.disk_bytes / vp.disk_bytes,
+        "memory_ratio_lsh_over_vp": lsh.memory_bytes / vp.memory_bytes,
+    }
+
+
+def main() -> None:
+    result = run()
+    print("Figure 15: client disk/memory footprint by approach")
+    print("-- at our database scale --")
+    print(format_footprint_table(result["measured"]))
+    print("-- at the paper's 2.5M-descriptor scale --")
+    print(format_footprint_table(result["paper_scale"]))
+    print(
+        f"LSH/VisualPrint ratios at 2.5M: disk "
+        f"{result['disk_ratio_lsh_over_vp']:.0f}x (paper: 124x), memory "
+        f"{result['memory_ratio_lsh_over_vp']:.0f}x (paper: 58x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Figures 19-20: end-to-end localization error in three venues.
+
+Wardrive each venue (with drift + ICP correction), ingest the mapping
+into the cloud service, then localize fingerprint queries captured at
+held-out poses.  Expected shape: error CDFs with medians of a couple of
+meters; the aisle-heavy grocery store worst; X/Y (walking-plane) errors
+smaller than Z.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import VisualPrintClient, VisualPrintConfig, VisualPrintServer
+from repro.features.keypoint import KeypointSet
+from repro.geometry import Pose
+from repro.localization import error_by_axis, localization_errors
+from repro.util.rng import rng_for
+from repro.wardrive import DriftModel, IndoorEnvironment, TangoRig, WardriveSession
+
+__all__ = ["run", "main", "query_poses", "simulate_query"]
+
+
+def query_poses(
+    environment: IndoorEnvironment, count: int, seed: int
+) -> list[Pose]:
+    """Held-out query poses: random interior positions facing a wall."""
+    rng = rng_for(seed, f"querypose/{environment.spec.name}")
+    spec = environment.spec
+    poses: list[Pose] = []
+    while len(poses) < count:
+        x = float(rng.uniform(3.0, spec.width - 3.0))
+        y = float(rng.uniform(3.0, spec.depth - 3.0))
+        # Face the nearest wall so enough landmarks are in range.
+        distances = {
+            0.0: spec.width - x,  # +x wall
+            np.pi: x,  # -x wall
+            np.pi / 2: spec.depth - y,  # +y wall
+            -np.pi / 2: y,  # -y wall
+        }
+        yaw = min(distances, key=distances.get)
+        poses.append(
+            Pose(x=x, y=y, z=1.5, yaw=yaw + float(rng.uniform(-0.3, 0.3)))
+        )
+    return poses
+
+
+def simulate_query(
+    environment: IndoorEnvironment,
+    pose: Pose,
+    rig: TangoRig,
+    rng: np.random.Generator,
+    descriptor_noise: float = 3.0,
+) -> KeypointSet | None:
+    """The query phone's keypoints at ``pose`` (RGB only — no depth)."""
+    ids, pixels, _ = rig.observe(pose)
+    if ids.size < 8:
+        return None
+    descriptors = environment.descriptors[ids] + rng.normal(
+        0, descriptor_noise, size=(ids.size, 128)
+    )
+    count = ids.size
+    return KeypointSet(
+        positions=pixels.astype(np.float32),
+        scales=np.ones(count, dtype=np.float32),
+        orientations=np.zeros(count, dtype=np.float32),
+        responses=np.ones(count, dtype=np.float32),
+        descriptors=np.clip(descriptors, 0, 255).astype(np.float32),
+    )
+
+
+def run(
+    seed: int = 3,
+    venues: tuple[str, ...] = ("office", "cafeteria", "grocery"),
+    queries_per_venue: int = 40,
+    drift_scale: float = 2.0,
+    fingerprint_size: int = 60,
+    use_icp: bool = True,
+) -> dict:
+    """Returns per-venue 3D error arrays and per-axis errors."""
+    errors: dict[str, np.ndarray] = {}
+    axis_errors: dict[str, dict[str, np.ndarray]] = {}
+    for venue in venues:
+        environment = IndoorEnvironment.build(venue, seed=seed)
+        session = WardriveSession(
+            environment, seed=seed, drift=DriftModel(scale=drift_scale)
+        )
+        mapping = session.run(use_icp=use_icp)
+        config = VisualPrintConfig(
+            descriptor_capacity=max(mapping.num_mappings, 1024),
+            fingerprint_size=fingerprint_size,
+        )
+        server = VisualPrintServer(config, bounds=environment.bounds)
+        server.ingest(mapping.descriptors, mapping.positions)
+        client = VisualPrintClient(server.publish_oracle(), config)
+
+        rig = TangoRig(environment, seed=seed + 50)
+        rng = rng_for(seed, f"querydesc/{venue}")
+        estimated: list[Pose] = []
+        truth: list[Pose] = []
+        for pose in query_poses(environment, queries_per_venue, seed):
+            keypoints = simulate_query(environment, pose, rig, rng)
+            if keypoints is None:
+                continue
+            fingerprint = client.fingerprint_keypoints(keypoints)
+            answer = server.localize(fingerprint)
+            estimated.append(answer.pose)
+            truth.append(pose)
+        errors[venue] = localization_errors(estimated, truth)
+        axis_errors[venue] = error_by_axis(estimated, truth)
+    return {"errors": errors, "axis_errors": axis_errors}
+
+
+def main() -> None:
+    result = run()
+    print("Figure 19: 3D localization error CDFs by venue")
+    for venue, values in result["errors"].items():
+        print(
+            f"{venue:<10} n={values.size:<3} median {np.median(values):>5.2f} m  "
+            f"p90 {np.percentile(values, 90):>5.2f} m"
+        )
+    print("Figure 20: error by axis (medians)")
+    for venue, axes in result["axis_errors"].items():
+        print(
+            f"{venue:<10} "
+            + "  ".join(
+                f"{axis}={np.median(values):.2f}m" for axis, values in axes.items()
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

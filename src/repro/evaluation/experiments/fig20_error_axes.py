@@ -1,0 +1,35 @@
+"""Figure 20: localization error split by X / Y / Z.
+
+Shares the fig19 runs.  Expected shape: horizontal (X/Y) errors smaller
+than vertical (Z) — "the wardriving motion is also along the X/Y plane".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiments import fig19_localization
+
+__all__ = ["run", "main"]
+
+
+def run(**kwargs) -> dict:
+    """Returns per-venue, per-axis error arrays (Fig. 20 boxplot input)."""
+    result = fig19_localization.run(**kwargs)
+    return {"axis_errors": result["axis_errors"]}
+
+
+def main() -> None:
+    result = run()
+    print("Figure 20: localization error by dimension")
+    print(f"{'venue':<11} {'axis':<5} {'p25':>6} {'median':>7} {'p75':>6}")
+    for venue, axes in result["axis_errors"].items():
+        for axis, values in axes.items():
+            print(
+                f"{venue:<11} {axis:<5} {np.percentile(values, 25):>6.2f} "
+                f"{np.median(values):>7.2f} {np.percentile(values, 75):>6.2f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Figure 2: uplink bandwidth vs sustainable FPS, by encoding.
+
+Encodes a synthetic capture sequence with each codec to get its bytes
+per frame, then sweeps uplink bandwidth.  Expected shape (log-log):
+parallel lines ordered H264 > JPEG > PNG > RAW in FPS at any rate, about
+an order of magnitude apart per encoder class; lossless streams cannot
+sustain 10 FPS below tens of Mbps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs import H264Codec, JpegCodec, PngCodec, RawCodec
+from repro.imaging import to_uint8
+from repro.imaging.synth import SceneLibrary
+from repro.network import fps_curve
+
+__all__ = ["run", "main"]
+
+
+def _capture_sequence(
+    seed: int, num_frames: int, size: int
+) -> list[np.ndarray]:
+    """A panning capture of one scene (adjacent frames overlap heavily)."""
+    library = SceneLibrary(seed=seed, num_scenes=1, num_distractors=0, size=(size, size))
+    base = to_uint8(library.scene(0))
+    return [np.roll(base, shift=3 * i, axis=1) for i in range(num_frames)]
+
+
+def run(
+    seed: int = 7,
+    num_frames: int = 12,
+    image_size: int = 384,
+    jpeg_quality: int = 40,
+    bandwidths_mbps: np.ndarray | None = None,
+) -> dict:
+    """Returns per-encoding bytes/frame and the FPS-vs-bandwidth series."""
+    if bandwidths_mbps is None:
+        bandwidths_mbps = np.array([1, 2, 4, 8, 16, 32], dtype=float)
+    frames = _capture_sequence(seed, num_frames, image_size)
+
+    bytes_per_frame: dict[str, float] = {}
+    bytes_per_frame["raw"] = float(
+        np.mean([len(RawCodec().encode(f)) for f in frames])
+    )
+    bytes_per_frame["png"] = float(
+        np.mean([len(PngCodec().encode(f)) for f in frames])
+    )
+    bytes_per_frame["jpeg"] = float(
+        np.mean([len(JpegCodec(quality=jpeg_quality).encode(f)) for f in frames])
+    )
+    bytes_per_frame["h264"] = H264Codec(
+        i_quality=jpeg_quality + 20, p_quality=jpeg_quality
+    ).mean_bytes_per_frame(frames)
+
+    fps = {
+        name: fps_curve(bandwidths_mbps, size)
+        for name, size in bytes_per_frame.items()
+    }
+    return {
+        "bandwidths_mbps": bandwidths_mbps,
+        "bytes_per_frame": bytes_per_frame,
+        "fps": fps,
+    }
+
+
+def main() -> None:
+    result = run()
+    print("Figure 2: sustainable FPS by uplink bandwidth (log-log in paper)")
+    print(f"{'encoding':<8} {'bytes/frame':>12}", end="")
+    for mbps in result["bandwidths_mbps"]:
+        print(f" {mbps:>8.0f}Mbps", end="")
+    print()
+    for name in ("h264", "jpeg", "png", "raw"):
+        print(f"{name:<8} {result['bytes_per_frame'][name]:>12.0f}", end="")
+        for value in result["fps"][name]:
+            print(f" {value:>12.2f}", end="")
+        print()
+
+
+if __name__ == "__main__":
+    main()

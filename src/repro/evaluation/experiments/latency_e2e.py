@@ -1,0 +1,118 @@
+"""Extension experiment: end-to-end query latency by channel and scheme.
+
+The paper's introduction motivates VisualPrint with "unpredictable
+end-to-end network latency": the time from shutter to on-screen answer
+is client compute + upload + server compute + response.  This driver
+composes our measured client latencies (Fig. 16), payload sizes
+(Fig. 14), and the channel model to the full latency distribution the
+user actually experiences — per channel, for whole-frame offload versus
+VisualPrint.
+
+Shape expectation: on WiFi both schemes are compute-dominated and
+comparable; on cellular, frame upload's serialization delay blows up
+while VisualPrint stays compute-bound — the paper's argument that
+shrinking payloads "fix[es] the network latency issue".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs import PngCodec
+from repro.core import UniquenessOracle, VisualPrintClient, VisualPrintConfig
+from repro.features import SiftExtractor, SiftParams
+from repro.imaging import to_float, to_uint8
+from repro.imaging.synth import SceneLibrary
+from repro.network import CHANNEL_PRESETS
+from repro.util.rng import rng_for
+
+__all__ = ["run", "main"]
+
+
+def run(
+    seed: int = 7,
+    num_frames: int = 10,
+    image_size: int = 256,
+    fingerprint_size: int = 50,
+    server_seconds: float = 0.05,
+) -> dict:
+    """Returns per-channel latency samples for both offload schemes."""
+    library = SceneLibrary(
+        seed=seed, num_scenes=4, num_distractors=4, size=(image_size, image_size)
+    )
+    config = VisualPrintConfig(
+        descriptor_capacity=100_000, fingerprint_size=fingerprint_size
+    )
+    oracle = UniquenessOracle(config)
+    extractor = SiftExtractor(SiftParams(contrast_threshold=0.008))
+    for scene in range(library.num_scenes):
+        keypoints = extractor.extract(library.scene(scene))
+        if len(keypoints):
+            oracle.insert(keypoints.descriptors)
+    client = VisualPrintClient(oracle, config)
+    codec = PngCodec()
+
+    frame_bytes: list[int] = []
+    fingerprint_bytes: list[int] = []
+    compute_seconds: list[float] = []
+    for frame_index in range(num_frames):
+        image = library.query_view(
+            frame_index % library.num_scenes, frame_index % library.views_per_scene
+        )
+        fingerprint = client.process_frame(image, frame_index)
+        fingerprint_bytes.append(fingerprint.upload_bytes)
+        frame_bytes.append(len(codec.encode(to_uint8(image))))
+        compute_seconds.append(
+            client.stats.sift_seconds[-1] + client.stats.oracle_seconds[-1]
+        )
+
+    rng = rng_for(seed, "latency-e2e")
+    latencies: dict[str, dict[str, np.ndarray]] = {}
+    for channel_name, channel in CHANNEL_PRESETS.items():
+        frame_lat = []
+        vp_lat = []
+        for compute, frame_size, fp_size in zip(
+            compute_seconds, frame_bytes, fingerprint_bytes
+        ):
+            # Whole-frame offload skips local feature compute entirely.
+            frame_lat.append(
+                channel.round_trip_seconds(
+                    frame_size, server_seconds=server_seconds, rng=rng
+                )
+            )
+            vp_lat.append(
+                compute
+                + channel.round_trip_seconds(
+                    fp_size, server_seconds=server_seconds, rng=rng
+                )
+            )
+        latencies[channel_name] = {
+            "frame_upload": np.array(frame_lat),
+            "visualprint": np.array(vp_lat),
+        }
+    return {
+        "latencies": latencies,
+        "mean_frame_bytes": float(np.mean(frame_bytes)),
+        "mean_fingerprint_bytes": float(np.mean(fingerprint_bytes)),
+        "mean_compute_seconds": float(np.mean(compute_seconds)),
+    }
+
+
+def main() -> None:
+    result = run()
+    print("End-to-end query latency by channel (median seconds)")
+    print(
+        f"payloads: frame {result['mean_frame_bytes'] / 1024:.0f} KB, "
+        f"fingerprint {result['mean_fingerprint_bytes'] / 1024:.1f} KB; "
+        f"client compute {result['mean_compute_seconds'] * 1e3:.0f} ms"
+    )
+    print(f"{'channel':<8} {'frame-upload':>13} {'visualprint':>12}")
+    for channel, schemes in result["latencies"].items():
+        print(
+            f"{channel:<8} {np.median(schemes['frame_upload']):>12.3f}s "
+            f"{np.median(schemes['visualprint']):>11.3f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

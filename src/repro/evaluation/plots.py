@@ -1,0 +1,152 @@
+"""Terminal plotting: ASCII CDFs, boxplots, and line charts.
+
+The paper's evaluation is all CDFs and boxplots; matplotlib is not
+available offline, so the experiment drivers and benchmarks render
+directly to the terminal.  The renderers are deterministic (pure
+character output), which also makes them testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_cdf", "ascii_boxplot", "ascii_series"]
+
+
+def _format_value(value: float) -> str:
+    if abs(value) >= 100 or value == int(value):
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def ascii_cdf(
+    series: dict[str, np.ndarray],
+    width: int = 60,
+    height: int = 12,
+    label: str = "value",
+) -> str:
+    """Render one or more empirical CDFs as a character plot.
+
+    Each series gets a marker (a, b, c, ...); the y-axis is the CDF from
+    0 to 1, the x-axis spans the pooled data range.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    pooled = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    if pooled.size == 0:
+        raise ValueError("series are empty")
+    low, high = float(pooled.min()), float(pooled.max())
+    if high <= low:
+        high = low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefgh"
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker}={name}")
+        data = np.sort(np.asarray(values, dtype=float))
+        for column in range(width):
+            x = low + (high - low) * column / (width - 1)
+            fraction = float(np.searchsorted(data, x, side="right")) / data.size
+            row = height - 1 - int(round(fraction * (height - 1)))
+            if grid[row][column] == " ":
+                grid[row][column] = marker
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:4.1f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(
+        f"      {_format_value(low)}"
+        + " " * max(1, width - len(_format_value(low)) - len(_format_value(high)))
+        + f"{_format_value(high)}  ({label})"
+    )
+    lines.append("      " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_boxplot(
+    series: dict[str, np.ndarray], width: int = 58, label: str = "value"
+) -> str:
+    """Render horizontal five-number boxplots, one row per series."""
+    if not series:
+        raise ValueError("need at least one series")
+    pooled = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    if pooled.size == 0:
+        raise ValueError("series are empty")
+    low, high = float(pooled.min()), float(pooled.max())
+    if high <= low:
+        high = low + 1.0
+
+    def column(value: float) -> int:
+        return int(round((value - low) / (high - low) * (width - 1)))
+
+    name_width = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        values = np.asarray(values, dtype=float)
+        q0, q1, q2, q3, q4 = np.percentile(values, [0, 25, 50, 75, 100])
+        row = [" "] * width
+        for position in range(column(q0), column(q4) + 1):
+            row[position] = "-"
+        for position in range(column(q1), column(q3) + 1):
+            row[position] = "="
+        row[column(q2)] = "#"
+        lines.append(
+            f"{name:>{name_width}} |" + "".join(row) + f"| med={_format_value(q2)}"
+        )
+    lines.append(
+        " " * name_width
+        + f"  {_format_value(low)}"
+        + " " * max(1, width - len(_format_value(low)) - len(_format_value(high)))
+        + f"{_format_value(high)}  ({label})"
+    )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: np.ndarray,
+    series: dict[str, np.ndarray],
+    width: int = 60,
+    height: int = 12,
+    log_y: bool = False,
+    label: str = "",
+) -> str:
+    """Render y-vs-x line series as a character plot (Fig. 2 style)."""
+    if not series:
+        raise ValueError("need at least one series")
+    xs = np.asarray(xs, dtype=float)
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    if log_y:
+        all_y = np.log10(np.maximum(all_y, 1e-12))
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    if y_high <= y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = float(xs.min()), float(xs.max())
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefgh"
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker}={name}")
+        ys = np.asarray(values, dtype=float)
+        if log_y:
+            ys = np.log10(np.maximum(ys, 1e-12))
+        for x, y in zip(xs, ys):
+            column = int(round((x - x_low) / (x_high - x_low) * (width - 1)))
+            row = height - 1 - int(round((y - y_low) / (y_high - y_low) * (height - 1)))
+            if 0 <= row < height and 0 <= column < width:
+                grid[row][column] = marker
+    lines = ["".join(row) for row in grid]
+    lines = [f"  |{line}" for line in lines]
+    lines.append("  +" + "-" * width)
+    suffix = " (log y)" if log_y else ""
+    lines.append(f"   x: {_format_value(x_low)}..{_format_value(x_high)} {label}{suffix}")
+    lines.append("   " + "  ".join(legend))
+    return "\n".join(lines)

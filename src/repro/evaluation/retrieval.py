@@ -1,0 +1,162 @@
+"""Running the five Fig. 13 regimes over a retrieval workload.
+
+All subselection schemes (Random, VisualPrint-k, LSH-with-all-keypoints)
+share the server-side E2LSH matcher; BruteForce uses exact NN.  Matched
+keypoints vote for the scene owning their database counterpart through
+the common predictor in :mod:`repro.matching.schemes`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import VisualPrintConfig
+from repro.core.oracle import UniquenessOracle
+from repro.evaluation.datasets import RetrievalWorkload
+from repro.matching import (
+    BruteForceMatcher,
+    LshMatcher,
+    SceneDatabase,
+    SchemeResult,
+    random_subselect,
+    vote_scene,
+)
+from repro.util.rng import rng_for
+
+__all__ = [
+    "build_scene_database",
+    "build_oracle",
+    "evaluate_scheme_cdfs",
+    "run_bruteforce",
+    "run_lsh",
+    "run_random",
+    "run_visualprint",
+]
+
+
+def build_scene_database(workload: RetrievalWorkload) -> SceneDatabase:
+    return SceneDatabase.from_keypoint_sets(
+        workload.database_keypoints, workload.database_labels
+    )
+
+
+def build_oracle(
+    workload: RetrievalWorkload, config: VisualPrintConfig | None = None
+) -> UniquenessOracle:
+    """Curate the uniqueness oracle from the full database."""
+    database = build_scene_database(workload)
+    config = config or VisualPrintConfig(
+        descriptor_capacity=max(database.size, 1024)
+    )
+    oracle = UniquenessOracle(config)
+    oracle.insert(database.descriptors)
+    return oracle
+
+
+def _predict_all(
+    scheme: str,
+    workload: RetrievalWorkload,
+    database: SceneDatabase,
+    matcher,
+    select,
+    ratio: float,
+    min_votes: int,
+) -> SchemeResult:
+    predictions = np.empty(workload.num_queries, dtype=np.int64)
+    uploaded = np.empty(workload.num_queries, dtype=np.int64)
+    for query_index, keypoints in enumerate(workload.query_keypoints):
+        selected = select(query_index, keypoints)
+        uploaded[query_index] = len(selected)
+        if len(selected) == 0:
+            predictions[query_index] = -1
+            continue
+        _, database_rows = matcher.match(selected.descriptors, ratio=ratio)
+        outcome = vote_scene(database.labels[database_rows], min_votes=min_votes)
+        predictions[query_index] = outcome.predicted_scene
+    return SchemeResult(
+        scheme=scheme,
+        true_scenes=np.array(workload.query_labels, dtype=np.int64),
+        predicted_scenes=predictions,
+        uploaded_keypoints=uploaded,
+    )
+
+
+def run_random(
+    workload: RetrievalWorkload,
+    database: SceneDatabase,
+    matcher: LshMatcher,
+    count: int = 500,
+    seed: int = 0,
+    ratio: float = 0.8,
+    min_votes: int = 8,
+) -> SchemeResult:
+    """Random-k: uniform subselection, server LSH matching."""
+    rng = rng_for(seed, "random-select")
+    return _predict_all(
+        f"Random-{count}",
+        workload,
+        database,
+        matcher,
+        lambda _, kp: random_subselect(kp, count, rng),
+        ratio,
+        min_votes,
+    )
+
+
+def run_visualprint(
+    workload: RetrievalWorkload,
+    database: SceneDatabase,
+    matcher: LshMatcher,
+    oracle: UniquenessOracle,
+    count: int = 200,
+    ratio: float = 0.8,
+    min_votes: int = 8,
+) -> SchemeResult:
+    """VisualPrint-k: oracle-ranked top-k, server LSH matching."""
+
+    def select(_: int, keypoints):
+        order = oracle.rank_by_uniqueness(keypoints.descriptors)
+        return keypoints.select(order[:count])
+
+    return _predict_all(
+        f"VisualPrint-{count}", workload, database, matcher, select, ratio, min_votes
+    )
+
+
+def run_lsh(
+    workload: RetrievalWorkload,
+    database: SceneDatabase,
+    matcher: LshMatcher,
+    ratio: float = 0.8,
+    min_votes: int = 8,
+) -> SchemeResult:
+    """LSH: all query keypoints through the approximate matcher."""
+    return _predict_all(
+        "LSH", workload, database, matcher, lambda _, kp: kp, ratio, min_votes
+    )
+
+
+def run_bruteforce(
+    workload: RetrievalWorkload,
+    database: SceneDatabase,
+    matcher: BruteForceMatcher | None = None,
+    ratio: float = 0.8,
+    min_votes: int = 8,
+) -> SchemeResult:
+    """BruteForce: all query keypoints through exact NN."""
+    matcher = matcher or BruteForceMatcher(database.descriptors)
+    return _predict_all(
+        "BruteForce", workload, database, matcher, lambda _, kp: kp, ratio, min_votes
+    )
+
+
+def evaluate_scheme_cdfs(
+    results: list[SchemeResult], database: SceneDatabase
+) -> dict[str, dict[str, np.ndarray]]:
+    """Per-scene precision/recall values per scheme (Fig. 13's CDF input)."""
+    scene_ids = database.scene_ids
+    out: dict[str, dict[str, np.ndarray]] = {}
+    for result in results:
+        precision, recall = result.precision_recall_per_scene(scene_ids)
+        out[result.scheme] = {"precision": precision, "recall": recall}
+    return out

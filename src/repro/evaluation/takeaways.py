@@ -1,0 +1,77 @@
+"""The paper's "Evaluation Takeaways" — seven headline numbers.
+
+Each entry pairs the paper's reported value with our measured value and
+the shape criterion that must hold for the reproduction to count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Takeaway", "PAPER_TAKEAWAYS"]
+
+
+@dataclass(frozen=True)
+class Takeaway:
+    """One headline result: paper value + how we reproduce/judge it."""
+
+    key: str
+    paper_value: str
+    shape_criterion: str
+    experiment: str  # which experiment driver produces our number
+
+
+PAPER_TAKEAWAYS: list[Takeaway] = [
+    Takeaway(
+        key="precision_recall",
+        paper_value="VisualPrint precision/recall roughly comparable to LSH",
+        shape_criterion="median precision and recall of VisualPrint-500 within "
+        "~10 points of LSH; both well above Random",
+        experiment="fig13",
+    ),
+    Takeaway(
+        key="bandwidth",
+        paper_value="1/10th bandwidth of whole-frame upload (51.2 KB vs 523 KB)",
+        shape_criterion=">= 5x reduction of cumulative upload at end of run "
+        "(order-of-magnitude class)",
+        experiment="fig14",
+    ),
+    Takeaway(
+        key="disk",
+        paper_value="10.5 MB Bloom filters on disk vs 1.3 GB compressed LSH "
+        "indices (1/124th)",
+        shape_criterion="VisualPrint disk footprint >= 20x smaller than LSH "
+        "at the 2.5M-descriptor scale (order-class agreement)",
+        experiment="fig15",
+    ),
+    Takeaway(
+        key="memory",
+        paper_value="162 MB RAM vs 9.4 GB LSH cached in RAM (1/58th)",
+        shape_criterion="VisualPrint RAM >= 20x smaller than LSH at the "
+        "2.5M-descriptor scale",
+        experiment="fig15",
+    ),
+    Takeaway(
+        key="latency",
+        paper_value="SIFT 3300 ms median, Bloom lookups 217 ms median — "
+        "SIFT dominates",
+        shape_criterion="median SIFT extraction time >= 5x median oracle "
+        "ranking time per frame",
+        experiment="fig16",
+    ),
+    Takeaway(
+        key="energy",
+        paper_value="complete VisualPrint ~6.5 W (camera + compute dominate); "
+        "whole-frame offload ~4.9 W",
+        shape_criterion="camera+compute >= 70% of total; full pipeline in "
+        "the 5-8 W band",
+        experiment="fig18",
+    ),
+    Takeaway(
+        key="localization",
+        paper_value="median 3D localization error 2.5 m",
+        shape_criterion="median error in the 0.5-4 m band across venues, "
+        "X/Y better than Z",
+        experiment="fig19",
+    ),
+]

@@ -1,0 +1,131 @@
+"""BRIEF-style binary descriptors — the paper's "not SIFT specific" path.
+
+"Keypoint detection and description are two separate stages ... One can
+use any keypoint detection algorithm with another integer keypoint
+description algorithm without modification in the system pipeline."
+
+:class:`BriefDescriptor` describes existing keypoints with 128 smoothed
+intensity-pair comparisons (Calonder et al.'s BRIEF), emitted as a
+128-dimensional 0/255 integer vector.  Because the vector has the same
+shape and integer range as a SIFT descriptor, it flows through the
+*unmodified* VisualPrint pipeline — E2LSH quantization, the counting
+Bloom filters, serialization — exactly as the paper claims.  For binary
+vectors Euclidean distance is a monotone function of Hamming distance
+(``d2 = 255^2 * hamming``), so E2LSH's locality remains meaningful;
+:func:`hamming_distance` and :class:`HammingMatcher` provide the native
+binary matching path for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.features.keypoint import DESCRIPTOR_DIM, KeypointSet
+from repro.util.rng import rng_for
+
+__all__ = ["BriefDescriptor", "HammingMatcher", "hamming_distance"]
+
+
+@dataclass
+class BriefDescriptor:
+    """128-bit BRIEF over smoothed patches, as 0/255 integer vectors."""
+
+    patch_radius: int = 12
+    smoothing_sigma: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.patch_radius < 2:
+            raise ValueError(f"patch_radius must be >= 2, got {self.patch_radius}")
+        rng = rng_for(self.seed, "brief/pattern")
+        # The classic isotropic Gaussian test pattern, clipped to the patch.
+        sigma = self.patch_radius / 2.0
+        pattern = rng.normal(0.0, sigma, size=(DESCRIPTOR_DIM, 4))
+        self._pattern = np.clip(
+            np.rint(pattern), -self.patch_radius, self.patch_radius
+        ).astype(np.int64)
+
+    def describe(self, image: np.ndarray, keypoints: KeypointSet) -> KeypointSet:
+        """Replace ``keypoints``' descriptors with BRIEF bits (0/255)."""
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim != 2:
+            raise ValueError(f"image must be 2-D grayscale, got {image.shape}")
+        if len(keypoints) == 0:
+            return keypoints
+        smoothed = ndimage.gaussian_filter(image, self.smoothing_sigma, mode="nearest")
+        height, width = image.shape
+        margin = self.patch_radius + 1
+        xs = np.clip(
+            np.rint(keypoints.positions[:, 0]).astype(np.int64), margin, width - margin - 1
+        )
+        ys = np.clip(
+            np.rint(keypoints.positions[:, 1]).astype(np.int64), margin, height - margin - 1
+        )
+        # (n, 128) samples at both pattern endpoints.
+        ax = xs[:, None] + self._pattern[None, :, 0]
+        ay = ys[:, None] + self._pattern[None, :, 1]
+        bx = xs[:, None] + self._pattern[None, :, 2]
+        by = ys[:, None] + self._pattern[None, :, 3]
+        bits = smoothed[ay, ax] < smoothed[by, bx]
+        descriptors = np.where(bits, 255.0, 0.0).astype(np.float32)
+        return KeypointSet(
+            positions=keypoints.positions,
+            scales=keypoints.scales,
+            orientations=keypoints.orientations,
+            responses=keypoints.responses,
+            descriptors=descriptors,
+        )
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Hamming distances between 0/255 binary descriptor sets.
+
+    ``a``: (n, 128), ``b``: (m, 128); returns (n, m) int64 bit counts.
+    """
+    a_bits = np.asarray(a) > 127
+    b_bits = np.asarray(b) > 127
+    if a_bits.ndim != 2 or b_bits.ndim != 2 or a_bits.shape[1] != b_bits.shape[1]:
+        raise ValueError("descriptor sets must be (n, d) and (m, d)")
+    return (a_bits[:, None, :] != b_bits[None, :, :]).sum(axis=2)
+
+
+class HammingMatcher:
+    """Exact 2-NN matching under Hamming distance with a ratio test."""
+
+    def __init__(self, descriptors: np.ndarray, chunk_size: int = 256) -> None:
+        self._database = np.asarray(descriptors) > 127
+        if self._database.ndim != 2:
+            raise ValueError("descriptors must be 2-D")
+        self.chunk_size = int(chunk_size)
+
+    @property
+    def size(self) -> int:
+        return int(self._database.shape[0])
+
+    def match(
+        self, queries: np.ndarray, max_distance: int = 32, ratio: float = 0.8
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Ratio-tested matches: ``(query_rows, database_rows)``."""
+        query_bits = np.asarray(queries) > 127
+        accepted_q: list[int] = []
+        accepted_db: list[int] = []
+        for start in range(0, query_bits.shape[0], self.chunk_size):
+            chunk = query_bits[start : start + self.chunk_size]
+            distances = (chunk[:, None, :] != self._database[None, :, :]).sum(axis=2)
+            order = np.argsort(distances, axis=1)
+            best = order[:, 0]
+            best_d = distances[np.arange(chunk.shape[0]), best]
+            if self.size > 1:
+                second_d = distances[np.arange(chunk.shape[0]), order[:, 1]]
+            else:
+                second_d = np.full(chunk.shape[0], np.inf)
+            good = (best_d <= max_distance) & (best_d < ratio * second_d)
+            for row in np.flatnonzero(good):
+                accepted_q.append(start + int(row))
+                accepted_db.append(int(best[row]))
+        return np.array(accepted_q, dtype=np.int64), np.array(
+            accepted_db, dtype=np.int64
+        )

@@ -1,0 +1,62 @@
+"""Blur detection for the client's frame gate.
+
+The paper's client "performs a quick check on each frame to detect blur
+(often due to quick motion), discarding such frames" — blurred frames
+"lack ample visual features [and] do not result [in a] match on the
+server", so uploading them wastes bandwidth.
+
+The detector is the standard variance-of-Laplacian focus measure: the
+Laplacian responds to fine detail, and motion blur suppresses exactly
+that band.  It costs one 3x3 convolution — cheap enough for the
+per-frame critical path, unlike running SIFT first and counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["BlurDetector", "laplacian_variance"]
+
+_LAPLACIAN = np.array(
+    [[0.0, 1.0, 0.0], [1.0, -4.0, 1.0], [0.0, 1.0, 0.0]], dtype=np.float32
+)
+
+
+def laplacian_variance(image: np.ndarray) -> float:
+    """Variance of the Laplacian response — higher means sharper."""
+    image = np.asarray(image, dtype=np.float32)
+    if image.ndim != 2:
+        raise ValueError(f"image must be 2-D grayscale, got shape {image.shape}")
+    response = ndimage.convolve(image, _LAPLACIAN, mode="nearest")
+    return float(response.var())
+
+
+@dataclass
+class BlurDetector:
+    """Threshold gate on the focus measure.
+
+    ``threshold`` is scene-dependent; :meth:`calibrate` sets it from a
+    handful of known-sharp frames (a fraction of their median sharpness),
+    which is how a deployed client would bootstrap on install.
+    """
+
+    threshold: float = 5e-4
+    calibration_fraction: float = 0.45
+
+    def sharpness(self, image: np.ndarray) -> float:
+        return laplacian_variance(image)
+
+    def is_blurred(self, image: np.ndarray) -> bool:
+        """True when the frame should be discarded, not uploaded."""
+        return self.sharpness(image) < self.threshold
+
+    def calibrate(self, sharp_frames: list[np.ndarray]) -> float:
+        """Set the threshold from known-sharp reference frames."""
+        if not sharp_frames:
+            raise ValueError("need at least one calibration frame")
+        baseline = float(np.median([self.sharpness(f) for f in sharp_frames]))
+        self.threshold = self.calibration_fraction * baseline
+        return self.threshold

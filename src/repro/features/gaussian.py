@@ -1,0 +1,104 @@
+"""Gaussian scale space and difference-of-Gaussians pyramids (Lowe 2004)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import ndimage
+
+from repro.util.validation import check_positive
+
+__all__ = ["GaussianPyramid", "DogPyramid"]
+
+
+@dataclass
+class GaussianPyramid:
+    """Octave pyramid of progressively blurred images.
+
+    Each octave holds ``scales_per_octave + 3`` levels so that DoG
+    extrema can be localized in ``scales_per_octave`` intervals; each
+    subsequent octave starts from the level with twice the base sigma,
+    downsampled by two.
+    """
+
+    octaves: list[np.ndarray] = field(default_factory=list)  # (levels, h, w)
+    sigmas: np.ndarray = field(default_factory=lambda: np.empty(0))
+    scales_per_octave: int = 3
+    base_sigma: float = 1.6
+
+    @classmethod
+    def build(
+        cls,
+        image: np.ndarray,
+        num_octaves: int | None = None,
+        scales_per_octave: int = 3,
+        base_sigma: float = 1.6,
+        assumed_blur: float = 0.5,
+    ) -> "GaussianPyramid":
+        """Build the pyramid from a float grayscale image in ``[0, 1]``."""
+        check_positive("scales_per_octave", scales_per_octave)
+        check_positive("base_sigma", base_sigma)
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim != 2:
+            raise ValueError(f"image must be 2-D grayscale, got {image.shape}")
+        if num_octaves is None:
+            num_octaves = max(1, int(np.log2(min(image.shape))) - 3)
+
+        levels = scales_per_octave + 3
+        k = 2.0 ** (1.0 / scales_per_octave)
+        sigmas = base_sigma * k ** np.arange(levels)
+
+        # Incremental blur amounts between consecutive levels.
+        increments = np.zeros(levels)
+        increments[0] = np.sqrt(max(base_sigma**2 - assumed_blur**2, 0.01))
+        for level in range(1, levels):
+            increments[level] = np.sqrt(sigmas[level] ** 2 - sigmas[level - 1] ** 2)
+
+        pyramid = cls(
+            octaves=[], sigmas=sigmas, scales_per_octave=scales_per_octave,
+            base_sigma=base_sigma,
+        )
+        current = image
+        for _ in range(num_octaves):
+            if min(current.shape) < 8:
+                break
+            stack = np.empty((levels, *current.shape), dtype=np.float32)
+            stack[0] = ndimage.gaussian_filter(current, increments[0], mode="nearest")
+            for level in range(1, levels):
+                stack[level] = ndimage.gaussian_filter(
+                    stack[level - 1], increments[level], mode="nearest"
+                )
+            pyramid.octaves.append(stack)
+            # Next octave seeds from the 2x-sigma level, halved.
+            current = stack[scales_per_octave][::2, ::2]
+        return pyramid
+
+    @property
+    def num_octaves(self) -> int:
+        return len(self.octaves)
+
+    def octave_scale(self, octave: int) -> float:
+        """Pixel-size multiplier of this octave relative to the input."""
+        return float(2**octave)
+
+    def absolute_sigma(self, octave: int, level: int) -> float:
+        """Blur sigma in input-image pixels for (octave, level)."""
+        return float(self.sigmas[level] * self.octave_scale(octave))
+
+
+@dataclass
+class DogPyramid:
+    """Difference-of-Gaussians stacks, one per octave."""
+
+    octaves: list[np.ndarray] = field(default_factory=list)
+    gaussian: GaussianPyramid | None = None
+
+    @classmethod
+    def from_gaussian(cls, pyramid: GaussianPyramid) -> "DogPyramid":
+        dogs = [np.diff(stack, axis=0) for stack in pyramid.octaves]
+        return cls(octaves=dogs, gaussian=pyramid)
+
+    @property
+    def num_octaves(self) -> int:
+        return len(self.octaves)

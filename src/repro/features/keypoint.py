@@ -1,0 +1,94 @@
+"""Keypoint containers.
+
+A keypoint is "typically represented using 2D pixel coordinate and a
+multi-dimensional feature description vector"; we carry scale,
+orientation, and detector response as well, stored as parallel arrays
+for vectorized downstream processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["KeypointSet"]
+
+DESCRIPTOR_DIM = 128
+
+
+@dataclass
+class KeypointSet:
+    """Parallel arrays describing ``n`` keypoints of one image.
+
+    Attributes:
+        positions:    ``(n, 2)`` float32, (x, y) pixel coordinates.
+        scales:       ``(n,)`` float32, detection scale (sigma).
+        orientations: ``(n,)`` float32, radians.
+        responses:    ``(n,)`` float32, detector response (|DoG| or Harris).
+        descriptors:  ``(n, 128)`` float32, entries in 0..255 (integerized
+                      SIFT convention, as VisualPrint hashes them).
+    """
+
+    positions: np.ndarray
+    scales: np.ndarray
+    orientations: np.ndarray
+    responses: np.ndarray
+    descriptors: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.positions.shape[0]
+        if self.positions.shape != (n, 2):
+            raise ValueError(f"positions must be (n, 2), got {self.positions.shape}")
+        for name in ("scales", "orientations", "responses"):
+            array = getattr(self, name)
+            if array.shape != (n,):
+                raise ValueError(f"{name} must be (n,), got {array.shape}")
+        if self.descriptors.shape != (n, DESCRIPTOR_DIM):
+            raise ValueError(
+                f"descriptors must be (n, {DESCRIPTOR_DIM}), got {self.descriptors.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.positions.shape[0])
+
+    @classmethod
+    def empty(cls) -> "KeypointSet":
+        return cls(
+            positions=np.empty((0, 2), dtype=np.float32),
+            scales=np.empty(0, dtype=np.float32),
+            orientations=np.empty(0, dtype=np.float32),
+            responses=np.empty(0, dtype=np.float32),
+            descriptors=np.empty((0, DESCRIPTOR_DIM), dtype=np.float32),
+        )
+
+    @classmethod
+    def concatenate(cls, parts: list["KeypointSet"]) -> "KeypointSet":
+        if not parts:
+            return cls.empty()
+        return cls(
+            positions=np.concatenate([p.positions for p in parts]),
+            scales=np.concatenate([p.scales for p in parts]),
+            orientations=np.concatenate([p.orientations for p in parts]),
+            responses=np.concatenate([p.responses for p in parts]),
+            descriptors=np.concatenate([p.descriptors for p in parts]),
+        )
+
+    def select(self, indices: np.ndarray) -> "KeypointSet":
+        """Subset (or reorder) by integer indices / boolean mask."""
+        return KeypointSet(
+            positions=self.positions[indices],
+            scales=self.scales[indices],
+            orientations=self.orientations[indices],
+            responses=self.responses[indices],
+            descriptors=self.descriptors[indices],
+        )
+
+    def top_by_response(self, count: int) -> "KeypointSet":
+        """Keep the ``count`` strongest keypoints."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count >= len(self):
+            return self
+        order = np.argsort(-self.responses, kind="stable")[:count]
+        return self.select(order)

@@ -1,0 +1,75 @@
+"""Keypoint wire format.
+
+Figure 5 measures "SIFT feature size (in bytes) ratio to image size",
+uncompressed and after "heavy GZIP compression"; Figure 14's fingerprint
+upload (about 51.2 KB for 200 keypoints with framing) uses the same
+record layout.  Each record is:
+
+======== ======= ==========================================
+field    bytes   encoding
+======== ======= ==========================================
+x, y     8       two float32 pixel coordinates
+scale    4       float32
+angle    4       float32 radians
+descr    128     128 x uint8 (the integer SIFT descriptor)
+======== ======= ==========================================
+
+144 bytes per keypoint — "extracted keypoints typically require at least
+as much space as the image itself" once thousands are present.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+
+import numpy as np
+
+from repro.features.keypoint import DESCRIPTOR_DIM, KeypointSet
+
+__all__ = ["keypoint_record_bytes", "serialize_keypoints", "deserialize_keypoints"]
+
+_HEADER = struct.Struct("<4sI")
+_MAGIC = b"VPKP"
+
+
+def keypoint_record_bytes() -> int:
+    """Bytes per serialized keypoint record."""
+    return 4 * 4 + DESCRIPTOR_DIM
+
+
+def serialize_keypoints(keypoints: KeypointSet, compress: bool = False) -> bytes:
+    """Pack a keypoint set into its wire format (optionally GZIP'd)."""
+    count = len(keypoints)
+    meta = np.empty((count, 4), dtype="<f4")
+    meta[:, 0:2] = keypoints.positions
+    meta[:, 2] = keypoints.scales
+    meta[:, 3] = keypoints.orientations
+    descriptors = np.clip(np.rint(keypoints.descriptors), 0, 255).astype(np.uint8)
+    payload = _HEADER.pack(_MAGIC, count) + meta.tobytes() + descriptors.tobytes()
+    if compress:
+        return gzip.compress(payload, compresslevel=9)
+    return payload
+
+
+def deserialize_keypoints(payload: bytes) -> KeypointSet:
+    """Inverse of :func:`serialize_keypoints` (detects GZIP automatically)."""
+    if payload[:2] == b"\x1f\x8b":
+        payload = gzip.decompress(payload)
+    magic, count = _HEADER.unpack_from(payload, 0)
+    if magic != _MAGIC:
+        raise ValueError("not a VisualPrint keypoint payload (bad magic)")
+    offset = _HEADER.size
+    meta = np.frombuffer(payload, dtype="<f4", count=count * 4, offset=offset)
+    meta = meta.reshape(count, 4)
+    offset += count * 16
+    descriptors = np.frombuffer(
+        payload, dtype=np.uint8, count=count * DESCRIPTOR_DIM, offset=offset
+    ).reshape(count, DESCRIPTOR_DIM)
+    return KeypointSet(
+        positions=meta[:, 0:2].astype(np.float32).copy(),
+        scales=meta[:, 2].astype(np.float32).copy(),
+        orientations=meta[:, 3].astype(np.float32).copy(),
+        responses=np.zeros(count, dtype=np.float32),
+        descriptors=descriptors.astype(np.float32),
+    )

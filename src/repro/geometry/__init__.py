@@ -1,0 +1,14 @@
+"""Camera geometry: pinhole projection, 6-DoF poses, Fig. 11 angle math."""
+
+from repro.geometry.angles import angle_between_keypoints, gamma_angle
+from repro.geometry.camera import CameraIntrinsics, PinholeCamera
+from repro.geometry.pose import Pose, rotation_matrix
+
+__all__ = [
+    "CameraIntrinsics",
+    "PinholeCamera",
+    "Pose",
+    "angle_between_keypoints",
+    "gamma_angle",
+    "rotation_matrix",
+]

@@ -1,0 +1,51 @@
+"""Angular separation math of the paper's Figure 11.
+
+``gamma(p, C, F, S) = atan(|p - C| * tan(F / 2) / (S / 2))`` is the angle
+at the camera between the image center and a keypoint's projection on
+one axis.  The angle between two keypoints on that axis is the sum of
+their gammas when they straddle the center, else the absolute
+difference.  These perceived angles are the observations that the
+Fig. 12 optimization reconciles with the keypoints' known 3D positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gamma_angle", "angle_between_keypoints"]
+
+
+def gamma_angle(
+    pixel: np.ndarray | float,
+    center: float,
+    fov: float,
+    side_length: float,
+) -> np.ndarray:
+    """Angle from the image center to pixel coordinate(s) on one axis."""
+    pixel = np.asarray(pixel, dtype=np.float64)
+    if side_length <= 0:
+        raise ValueError(f"side_length must be positive, got {side_length}")
+    if not 0 < fov < np.pi:
+        raise ValueError(f"fov must be in (0, pi), got {fov}")
+    return np.arctan(np.abs(pixel - center) * np.tan(fov / 2.0) / (side_length / 2.0))
+
+
+def angle_between_keypoints(
+    pixel_a: float,
+    pixel_b: float,
+    center: float,
+    fov: float,
+    side_length: float,
+) -> float:
+    """Angle at the camera between two keypoints along one image axis.
+
+    "The x-axis angle between P0 and P1 is gamma(P0) + gamma(P1) if P0
+    and P1 fall on opposite sides of C, or |gamma(P0) - gamma(P1)| if
+    they are on the same side."
+    """
+    gamma_a = float(gamma_angle(pixel_a, center, fov, side_length))
+    gamma_b = float(gamma_angle(pixel_b, center, fov, side_length))
+    opposite_sides = (pixel_a - center) * (pixel_b - center) < 0
+    if opposite_sides:
+        return gamma_a + gamma_b
+    return abs(gamma_a - gamma_b)

@@ -1,0 +1,102 @@
+"""Pinhole camera model.
+
+The camera frame convention matches :class:`repro.geometry.Pose`: the
+optical axis is +X, image-right is -Y (world left is +Y), image-down is
+-Z.  Intrinsics are expressed through the horizontal/vertical fields of
+view, the parameterization used throughout the paper's Fig. 11/12 math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.pose import Pose
+from repro.util.validation import check_positive
+
+__all__ = ["CameraIntrinsics", "PinholeCamera"]
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """Image geometry: resolution plus horizontal/vertical FoV (radians)."""
+
+    width: int = 640
+    height: int = 480
+    fov_h: float = np.deg2rad(62.0)  # typical smartphone main camera
+    fov_v: float = np.deg2rad(48.0)
+
+    def __post_init__(self) -> None:
+        check_positive("width", self.width)
+        check_positive("height", self.height)
+        check_positive("fov_h", self.fov_h)
+        check_positive("fov_v", self.fov_v)
+
+    @property
+    def focal_x(self) -> float:
+        """Focal length in pixels along x (from the horizontal FoV)."""
+        return (self.width / 2.0) / np.tan(self.fov_h / 2.0)
+
+    @property
+    def focal_y(self) -> float:
+        return (self.height / 2.0) / np.tan(self.fov_v / 2.0)
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.width / 2.0, self.height / 2.0)
+
+
+class PinholeCamera:
+    """A posed pinhole camera that can project and back-project points."""
+
+    def __init__(self, intrinsics: CameraIntrinsics, pose: Pose) -> None:
+        self.intrinsics = intrinsics
+        self.pose = pose
+
+    def project(self, world_points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Project ``(n, 3)`` world points to pixels.
+
+        Returns ``(pixels, visible)`` where ``pixels`` is ``(n, 2)``
+        float64 (x right, y down) and ``visible`` flags points in front
+        of the camera and inside the frame.
+        """
+        camera_points = self.pose.to_camera(world_points)
+        depth = camera_points[:, 0]
+        cx, cy = self.intrinsics.center
+        with np.errstate(divide="ignore", invalid="ignore"):
+            px = cx - self.intrinsics.focal_x * camera_points[:, 1] / depth
+            py = cy - self.intrinsics.focal_y * camera_points[:, 2] / depth
+        pixels = np.column_stack([px, py])
+        visible = (
+            (depth > 1e-6)
+            & (px >= 0)
+            & (px < self.intrinsics.width)
+            & (py >= 0)
+            & (py < self.intrinsics.height)
+        )
+        pixels[~visible] = np.nan
+        return pixels, visible
+
+    def back_project(self, pixels: np.ndarray, depths: np.ndarray) -> np.ndarray:
+        """Lift ``(n, 2)`` pixels at ``(n,)`` ranges back to world points.
+
+        ``depths`` are distances along the optical axis (camera X), the
+        quantity an IR depth sensor reports per pixel.
+        """
+        pixels = np.atleast_2d(np.asarray(pixels, dtype=np.float64))
+        depths = np.atleast_1d(np.asarray(depths, dtype=np.float64))
+        if pixels.shape[0] != depths.shape[0]:
+            raise ValueError("pixels and depths must align")
+        cx, cy = self.intrinsics.center
+        cam_y = -(pixels[:, 0] - cx) / self.intrinsics.focal_x * depths
+        cam_z = -(pixels[:, 1] - cy) / self.intrinsics.focal_y * depths
+        camera_points = np.column_stack([depths, cam_y, cam_z])
+        return self.pose.to_world(camera_points)
+
+    def depth_of(self, world_points: np.ndarray) -> np.ndarray:
+        """Optical-axis depth of world points (NaN behind the camera)."""
+        camera_points = self.pose.to_camera(world_points)
+        depth = camera_points[:, 0].copy()
+        depth[depth <= 0] = np.nan
+        return depth

@@ -1,0 +1,74 @@
+"""6-DoF poses: translation (x, y, z) plus rotation (yaw, pitch, roll).
+
+The paper's wardriving metadata is exactly this: "three dimensions of
+translation in (x, y, z) and three dimensions of device rotation/
+orientation (yaw, pitch, roll)", relative to the session start.
+
+Convention: right-handed world frame, Z up.  Camera looks along +X when
+yaw = 0; yaw rotates about Z (left positive), pitch about the camera's
+Y (up positive), roll about the optical axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["Pose", "rotation_matrix"]
+
+
+def rotation_matrix(yaw: float, pitch: float, roll: float) -> np.ndarray:
+    """World-from-camera rotation for the given Euler angles (radians)."""
+    cy, sy = np.cos(yaw), np.sin(yaw)
+    cp, sp = np.cos(pitch), np.sin(pitch)
+    cr, sr = np.cos(roll), np.sin(roll)
+    rot_yaw = np.array([[cy, -sy, 0], [sy, cy, 0], [0, 0, 1.0]])
+    rot_pitch = np.array([[cp, 0, sp], [0, 1, 0], [-sp, 0, cp]])
+    rot_roll = np.array([[1, 0, 0], [0, cr, -sr], [0, sr, cr]])
+    return rot_yaw @ rot_pitch @ rot_roll
+
+
+@dataclass(frozen=True)
+class Pose:
+    """A 6-DoF rigid pose (meters, radians)."""
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+    yaw: float = 0.0
+    pitch: float = 0.0
+    roll: float = 0.0
+
+    @property
+    def position(self) -> np.ndarray:
+        return np.array([self.x, self.y, self.z], dtype=np.float64)
+
+    @property
+    def rotation(self) -> np.ndarray:
+        return rotation_matrix(self.yaw, self.pitch, self.roll)
+
+    def to_world(self, camera_points: np.ndarray) -> np.ndarray:
+        """Map ``(n, 3)`` camera-frame points to the world frame."""
+        camera_points = np.atleast_2d(np.asarray(camera_points, dtype=np.float64))
+        return camera_points @ self.rotation.T + self.position
+
+    def to_camera(self, world_points: np.ndarray) -> np.ndarray:
+        """Map ``(n, 3)`` world points into the camera frame."""
+        world_points = np.atleast_2d(np.asarray(world_points, dtype=np.float64))
+        return (world_points - self.position) @ self.rotation
+
+    def translated(self, dx: float, dy: float, dz: float = 0.0) -> "Pose":
+        return replace(self, x=self.x + dx, y=self.y + dy, z=self.z + dz)
+
+    def rotated(self, dyaw: float, dpitch: float = 0.0, droll: float = 0.0) -> "Pose":
+        return replace(
+            self,
+            yaw=self.yaw + dyaw,
+            pitch=self.pitch + dpitch,
+            roll=self.roll + droll,
+        )
+
+    def position_error(self, other: "Pose") -> float:
+        """Euclidean distance between two pose positions."""
+        return float(np.linalg.norm(self.position - other.position))

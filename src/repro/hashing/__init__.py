@@ -1,0 +1,19 @@
+"""Non-cryptographic hashing used by Bloom filters and LSH bucket keys.
+
+The paper hashes LSH bucket vectors with MurmurHash3 ("a hash is selected
+for execution speed over cryptographic guarantees, such as Murmur-3").
+This package provides a faithful scalar MurmurHash3 (x86, 32-bit) plus a
+numpy-vectorized variant that hashes many fixed-length integer vectors at
+once — the hot path when indexing hundreds of thousands of descriptors.
+"""
+
+from repro.hashing.families import HashFamily, MultiplyShiftFamily, Murmur3Family
+from repro.hashing.murmur3 import murmur3_32, murmur3_32_vectors
+
+__all__ = [
+    "HashFamily",
+    "MultiplyShiftFamily",
+    "Murmur3Family",
+    "murmur3_32",
+    "murmur3_32_vectors",
+]

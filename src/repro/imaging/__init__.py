@@ -1,0 +1,54 @@
+"""Synthetic imaging substrate.
+
+The paper photographs 100 unique scenes plus 400 repetitive "distractor"
+views (ceiling/floor tiles, name plates, furniture) inside a real
+building.  Offline, we reproduce the *entropy structure* of that dataset
+procedurally: scene images carry one-of-a-kind multi-octave noise texture
+("paintings"), distractors are built from building-wide repeated motifs
+(tiles, door knobs, vents).  Query views re-render a scene under
+perspective warp, photometric jitter, and sensor noise.
+
+All images are float32 grayscale in ``[0, 1]`` while processing;
+:func:`to_uint8` / :func:`to_float` convert at codec boundaries.
+"""
+
+from repro.imaging.image import to_float, to_uint8
+from repro.imaging.noise import (
+    brightness_contrast,
+    gaussian_noise,
+    motion_blur,
+    vignette,
+)
+from repro.imaging.synth import (
+    SceneLibrary,
+    checkerboard,
+    distractor_image,
+    fixture_stamp,
+    scene_image,
+    value_noise_texture,
+)
+from repro.imaging.transform import (
+    affine_warp,
+    homography_from_view_angle,
+    perspective_warp,
+    rotate_image,
+)
+
+__all__ = [
+    "SceneLibrary",
+    "affine_warp",
+    "brightness_contrast",
+    "checkerboard",
+    "distractor_image",
+    "fixture_stamp",
+    "gaussian_noise",
+    "homography_from_view_angle",
+    "motion_blur",
+    "perspective_warp",
+    "rotate_image",
+    "scene_image",
+    "to_float",
+    "to_uint8",
+    "value_noise_texture",
+    "vignette",
+]

@@ -1,0 +1,23 @@
+"""Image representation conventions and conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_float", "to_uint8"]
+
+
+def to_uint8(image: np.ndarray) -> np.ndarray:
+    """Convert a float image in ``[0, 1]`` to uint8 (clipping out-of-range)."""
+    image = np.asarray(image)
+    if image.dtype == np.uint8:
+        return image
+    return np.clip(np.rint(image * 255.0), 0, 255).astype(np.uint8)
+
+
+def to_float(image: np.ndarray) -> np.ndarray:
+    """Convert a uint8 image to float32 in ``[0, 1]``."""
+    image = np.asarray(image)
+    if image.dtype == np.uint8:
+        return image.astype(np.float32) / 255.0
+    return image.astype(np.float32)

@@ -1,0 +1,63 @@
+"""Photometric degradations applied to query views.
+
+Real query photos differ from wardriven imagery in exposure, sensor
+noise, and motion blur (the paper found "majority of frames to be blurred
+due to motion and shake").  These operators create that gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["brightness_contrast", "gaussian_noise", "motion_blur", "vignette"]
+
+
+def gaussian_noise(
+    image: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Additive zero-mean Gaussian sensor noise, clipped to ``[0, 1]``."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    noisy = image + rng.normal(0.0, sigma, size=image.shape).astype(np.float32)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def brightness_contrast(
+    image: np.ndarray, brightness: float = 0.0, contrast: float = 1.0
+) -> np.ndarray:
+    """Linear photometric change about mid-gray: ``(i - .5) * c + .5 + b``."""
+    adjusted = (image - 0.5) * contrast + 0.5 + brightness
+    return np.clip(adjusted, 0.0, 1.0).astype(np.float32)
+
+
+def motion_blur(image: np.ndarray, length: int, angle_radians: float) -> np.ndarray:
+    """Directional blur from camera shake: convolve with a line kernel."""
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    if length == 1:
+        return image.astype(np.float32)
+    size = length if length % 2 == 1 else length + 1
+    kernel = np.zeros((size, size), dtype=np.float32)
+    center = size // 2
+    cos_a, sin_a = np.cos(angle_radians), np.sin(angle_radians)
+    for step in np.linspace(-center, center, 4 * size):
+        col = int(round(center + step * cos_a))
+        row = int(round(center + step * sin_a))
+        if 0 <= row < size and 0 <= col < size:
+            kernel[row, col] = 1.0
+    kernel /= kernel.sum()
+    blurred = ndimage.convolve(image.astype(np.float32), kernel, mode="nearest")
+    return blurred.astype(np.float32)
+
+
+def vignette(image: np.ndarray, strength: float = 0.3) -> np.ndarray:
+    """Radial darkening toward the corners (cheap lens model)."""
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError(f"strength must be in [0, 1], got {strength}")
+    height, width = image.shape
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float32)
+    cy, cx = (height - 1) / 2.0, (width - 1) / 2.0
+    radius = np.sqrt(((ys - cy) / cy) ** 2 + ((xs - cx) / cx) ** 2) / np.sqrt(2.0)
+    falloff = 1.0 - strength * radius**2
+    return np.clip(image * falloff, 0.0, 1.0).astype(np.float32)

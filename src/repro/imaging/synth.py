@@ -1,0 +1,373 @@
+"""Procedural indoor scenes with controlled visual entropy.
+
+The paper's dataset structure:
+
+* **100 scenes** — one-of-a-kind content (paintings, posters, distinctive
+  corners).  Reproduced as framed multi-octave value-noise "paintings":
+  each scene's texture is statistically unique to its seed, so its SIFT
+  descriptors are globally rare.
+* **400 distractors** — "ceiling, floor, name-plates, furniture ...
+  naturally contain repeated patterns".  Reproduced by compositing a
+  small set of *building-wide* motifs (tiles, door knobs, vents, name
+  plates) that recur across many distractor images, so their descriptors
+  are globally common — exactly what the uniqueness oracle must learn to
+  discard.
+
+Scenes also carry a few repeated fixtures ("a door knob or light switch
+might be unique in a room, but repeated in every room") so that scene
+images contain both entropy classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import ndimage
+
+from repro.util.rng import rng_for
+
+__all__ = [
+    "SceneLibrary",
+    "checkerboard",
+    "distractor_image",
+    "fixture_stamp",
+    "scene_image",
+    "value_noise_texture",
+]
+
+
+def value_noise_texture(
+    shape: tuple[int, int],
+    rng: np.random.Generator,
+    octaves: int = 4,
+    base_cells: int = 4,
+    persistence: float = 0.55,
+) -> np.ndarray:
+    """Multi-octave value noise in ``[0, 1]`` — the "painting" generator.
+
+    Each octave draws a coarse random grid and upsamples it smoothly;
+    summing octaves with decaying amplitude yields texture with structure
+    at several scales, which is what gives SIFT keypoints across the DoG
+    pyramid.
+    """
+    if octaves < 1:
+        raise ValueError(f"octaves must be >= 1, got {octaves}")
+    height, width = shape
+    total = np.zeros(shape, dtype=np.float32)
+    amplitude = 1.0
+    amplitude_sum = 0.0
+    for octave in range(octaves):
+        cells = base_cells * (2**octave)
+        grid = rng.random((cells + 1, cells + 1)).astype(np.float32)
+        zoom = (height / grid.shape[0], width / grid.shape[1])
+        layer = ndimage.zoom(grid, zoom, order=3, mode="nearest", grid_mode=True)
+        total += amplitude * layer[:height, :width]
+        amplitude_sum += amplitude
+        amplitude *= persistence
+    total /= amplitude_sum
+    low, high = float(total.min()), float(total.max())
+    if high > low:
+        total = (total - low) / (high - low)
+    return total.astype(np.float32)
+
+
+def checkerboard(
+    shape: tuple[int, int], tile: int = 16, low: float = 0.35, high: float = 0.75
+) -> np.ndarray:
+    """The archetypal low-entropy repetitive pattern (floor tiles)."""
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    height, width = shape
+    ys, xs = np.mgrid[0:height, 0:width]
+    board = ((ys // tile + xs // tile) % 2).astype(np.float32)
+    return (low + (high - low) * board).astype(np.float32)
+
+
+def fixture_stamp(kind: str, size: int, rng: np.random.Generator) -> np.ndarray:
+    """A small repeated motif: the same stamp appears in many images.
+
+    Kinds: ``knob`` (door knob: bright disk + ring), ``vent`` (horizontal
+    slats), ``plate`` (name plate: framed speckle rows), ``switch``
+    (light switch: rectangle + toggle).
+    """
+    if size < 8:
+        raise ValueError(f"size must be >= 8, got {size}")
+    ys, xs = np.mgrid[0:size, 0:size].astype(np.float32)
+    center = (size - 1) / 2.0
+    radius = np.sqrt((ys - center) ** 2 + (xs - center) ** 2)
+    stamp = np.full((size, size), 0.5, dtype=np.float32)
+
+    if kind == "knob":
+        stamp[radius < size * 0.38] = 0.85
+        ring = (radius > size * 0.30) & (radius < size * 0.38)
+        stamp[ring] = 0.25
+        stamp[radius < size * 0.10] = 0.15
+    elif kind == "vent":
+        slat_period = max(3, size // 6)
+        slats = ((ys.astype(int) // slat_period) % 2).astype(np.float32)
+        stamp = 0.3 + 0.45 * slats
+    elif kind == "plate":
+        stamp[:] = 0.8
+        border = max(1, size // 10)
+        stamp[:border, :] = 0.2
+        stamp[-border:, :] = 0.2
+        stamp[:, :border] = 0.2
+        stamp[:, -border:] = 0.2
+        row_height = max(2, size // 8)
+        for row_start in range(2 * border, size - 2 * border - row_height, 2 * row_height):
+            text = rng.random(size - 4 * border) > 0.5
+            strip = np.where(text, 0.3, 0.8).astype(np.float32)
+            stamp[row_start : row_start + row_height, 2 * border : size - 2 * border] = strip
+    elif kind == "switch":
+        stamp[:] = 0.75
+        inner = slice(size // 4, 3 * size // 4)
+        stamp[inner, inner] = 0.55
+        toggle_w = max(2, size // 8)
+        toggle = slice(size // 2 - toggle_w, size // 2 + toggle_w)
+        stamp[size // 3 : 2 * size // 3, toggle] = 0.15
+    else:
+        raise ValueError(f"unknown fixture kind {kind!r}")
+    return stamp
+
+
+def _paste(canvas: np.ndarray, stamp: np.ndarray, top: int, left: int) -> None:
+    height, width = stamp.shape
+    ch, cw = canvas.shape
+    top = int(np.clip(top, 0, ch - height))
+    left = int(np.clip(left, 0, cw - width))
+    canvas[top : top + height, left : left + width] = stamp
+
+
+@dataclass
+class BuildingMotifs:
+    """The fixed, building-wide repeated content shared by all images.
+
+    ``wallpaper`` is one textured tile repeated across every wall in the
+    building — visually busy (it yields plenty of keypoints) but
+    globally common, exactly the content the oracle must learn to
+    discard.
+    """
+
+    stamps: dict[str, np.ndarray]
+    tile_sizes: tuple[int, ...]
+    wallpaper: np.ndarray
+
+    @classmethod
+    def create(
+        cls, seed: int, stamp_size: int = 32, wallpaper_tile: int = 96
+    ) -> "BuildingMotifs":
+        rng = rng_for(seed, "building/motifs")
+        kinds = ("knob", "vent", "plate", "switch")
+        stamps = {kind: fixture_stamp(kind, stamp_size, rng) for kind in kinds}
+        wallpaper = value_noise_texture(
+            (wallpaper_tile, wallpaper_tile),
+            rng,
+            octaves=5,
+            base_cells=6,
+            persistence=0.7,
+        )
+        # Mid-contrast so wallpaper keypoints are real but not dominant.
+        wallpaper = 0.5 + (wallpaper - 0.5) * 0.55
+        return cls(stamps=stamps, tile_sizes=(12, 16, 24), wallpaper=wallpaper)
+
+    def tiled_wallpaper(self, size: tuple[int, int]) -> np.ndarray:
+        """The wallpaper tile repeated to cover ``size``."""
+        height, width = size
+        tile = self.wallpaper
+        reps_y = height // tile.shape[0] + 1
+        reps_x = width // tile.shape[1] + 1
+        return np.tile(tile, (reps_y, reps_x))[:height, :width].copy()
+
+
+def scene_image(
+    motifs: BuildingMotifs,
+    rng: np.random.Generator,
+    size: tuple[int, int] = (256, 256),
+) -> np.ndarray:
+    """A unique scene embedded in building-wide repetition.
+
+    Real hallway photographs are mostly repeated content — wallpaper,
+    floor tiles, fixtures — with a *minority* of globally unique pixels
+    (the painting).  The mix is what makes intelligent subselection
+    matter: random keypoint picks mostly land on repeats, while the
+    oracle concentrates the fingerprint on the painting.
+    """
+    height, width = size
+    # Repeated wall covering + a floor band of building-standard tiles.
+    canvas = motifs.tiled_wallpaper(size).astype(np.float32)
+    floor_top = int(height * 0.8)
+    canvas[floor_top:] = checkerboard(
+        (height - floor_top, width), tile=int(motifs.tile_sizes[1])
+    )
+    canvas += 0.015 * rng.standard_normal(size).astype(np.float32)
+
+    # The painting: unique multi-octave texture in a dark frame, covering
+    # roughly a quarter of the frame area.
+    art_h, art_w = int(height * 0.48), int(width * 0.48)
+    art = value_noise_texture(
+        (art_h, art_w),
+        rng,
+        octaves=6,
+        base_cells=max(4, art_w // 12),
+        persistence=0.7,
+    )
+    frame = max(2, art_h // 20)
+    framed = np.full((art_h + 2 * frame, art_w + 2 * frame), 0.15, dtype=np.float32)
+    framed[frame : frame + art_h, frame : frame + art_w] = art
+    top = int(height * 0.08) + int(rng.integers(0, height // 8))
+    left = int(width * 0.1) + int(rng.integers(0, width // 4))
+    _paste(canvas, framed, top, left)
+
+    # A few repeated fixtures (common across the building).
+    kinds = rng.choice(list(motifs.stamps), size=2, replace=False)
+    stamp_positions = [
+        (floor_top - motifs.stamps[kinds[0]].shape[0] - 4, 4),
+        (4, width - motifs.stamps[kinds[1]].shape[1] - 4),
+    ]
+    for kind, (stamp_top, stamp_left) in zip(kinds, stamp_positions):
+        _paste(canvas, motifs.stamps[kind], stamp_top, stamp_left)
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def distractor_image(
+    motifs: BuildingMotifs,
+    rng: np.random.Generator,
+    size: tuple[int, int] = (256, 256),
+) -> np.ndarray:
+    """A repetitive view: tiles plus several building-wide fixtures.
+
+    A faint unique grain is added so distractors are not bit-identical —
+    but their *keypoints* come from repeated structure.
+    """
+    height, width = size
+    if rng.random() < 0.5:
+        canvas = motifs.tiled_wallpaper(size).astype(np.float32)
+        floor_top = int(height * 0.75)
+        canvas[floor_top:] = checkerboard(
+            (height - floor_top, width), tile=int(motifs.tile_sizes[1])
+        )
+    else:
+        tile = int(rng.choice(motifs.tile_sizes))
+        canvas = checkerboard(size, tile=tile)
+    # Repeated fixtures scattered on a coarse grid (aligned placement, so
+    # the same stamp yields near-identical descriptors across images).
+    count = int(rng.integers(3, 7))
+    for _ in range(count):
+        kind = str(rng.choice(list(motifs.stamps)))
+        stamp = motifs.stamps[kind]
+        grid = stamp.shape[0]
+        top = int(rng.integers(0, max(1, (height - grid) // grid))) * grid
+        left = int(rng.integers(0, max(1, (width - grid) // grid))) * grid
+        _paste(canvas, stamp, top, left)
+    canvas += 0.01 * rng.standard_normal(size).astype(np.float32)
+    return np.clip(canvas, 0.0, 1.0)
+
+
+@dataclass
+class SceneLibrary:
+    """Deterministic factory for the full image dataset.
+
+    >>> library = SceneLibrary(seed=7, num_scenes=3, num_distractors=5)
+    >>> library.scene(0).shape
+    (256, 256)
+    """
+
+    seed: int
+    num_scenes: int = 100
+    num_distractors: int = 400
+    size: tuple[int, int] = (256, 256)
+    views_per_scene: int = 5
+    max_view_yaw_degrees: float = 32.0
+    # Query realism: "[the paper] found majority of frames to be blurred
+    # due to motion and shake" — a fraction of query views get a motion
+    # blur of a few pixels, plus sensor noise on all views.
+    blur_probability: float = 0.7
+    max_blur_length: int = 13
+    query_noise_sigma: float = 0.025
+    min_view_zoom: float = 0.55  # queries shot farther away than wardriving
+    max_view_zoom: float = 1.05
+    _motifs: BuildingMotifs = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_scenes < 1:
+            raise ValueError("num_scenes must be >= 1")
+        if self.num_distractors < 0:
+            raise ValueError("num_distractors must be >= 0")
+        self._motifs = BuildingMotifs.create(self.seed)
+
+    def scene(self, index: int) -> np.ndarray:
+        """Database image of scene ``index``."""
+        if not 0 <= index < self.num_scenes:
+            raise IndexError(f"scene index {index} out of range")
+        rng = rng_for(self.seed, f"scene/{index}")
+        return scene_image(self._motifs, rng, self.size)
+
+    def distractor(self, index: int) -> np.ndarray:
+        """Distractor image ``index``."""
+        if not 0 <= index < self.num_distractors:
+            raise IndexError(f"distractor index {index} out of range")
+        rng = rng_for(self.seed, f"distractor/{index}")
+        return distractor_image(self._motifs, rng, self.size)
+
+    def query_view(self, scene_index: int, view_index: int) -> np.ndarray:
+        """Scene ``scene_index`` re-captured from a different angle.
+
+        Views sweep yaw across ``+/-max_view_yaw_degrees`` with mild
+        pitch/roll, photometric jitter, and sensor noise — the paper's
+        "five photographs from substantially different angles".
+        """
+        from repro.imaging.noise import brightness_contrast, gaussian_noise, motion_blur
+        from repro.imaging.transform import (
+            homography_from_view_angle,
+            perspective_warp,
+        )
+
+        if not 0 <= view_index < self.views_per_scene:
+            raise IndexError(f"view index {view_index} out of range")
+        rng = rng_for(self.seed, f"view/{scene_index}/{view_index}")
+        base = self.scene(scene_index)
+        span = np.deg2rad(self.max_view_yaw_degrees)
+        if self.views_per_scene == 1:
+            yaw = float(rng.uniform(-span, span))
+        else:
+            yaw = float(-span + 2 * span * view_index / (self.views_per_scene - 1))
+        pitch = float(rng.uniform(-0.08, 0.08))
+        roll = float(rng.uniform(-0.06, 0.06))
+        height, width = self.size
+        homography = homography_from_view_angle(width, height, yaw, pitch, roll)
+        # Queries are shot from varying distances: compose a zoom about
+        # the image center (zoom < 1 means farther away, scene smaller).
+        zoom = float(rng.uniform(self.min_view_zoom, self.max_view_zoom))
+        cx, cy = (width - 1) / 2.0, (height - 1) / 2.0
+        zoom_matrix = np.array(
+            [
+                [zoom, 0.0, cx * (1 - zoom)],
+                [0.0, zoom, cy * (1 - zoom)],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        view = perspective_warp(base, zoom_matrix @ homography)
+        view = brightness_contrast(
+            view,
+            brightness=float(rng.uniform(-0.06, 0.06)),
+            contrast=float(rng.uniform(0.9, 1.1)),
+        )
+        if rng.random() < self.blur_probability and self.max_blur_length >= 3:
+            view = motion_blur(
+                view,
+                length=int(rng.integers(3, self.max_blur_length + 1)),
+                angle_radians=float(rng.uniform(0, np.pi)),
+            )
+        return gaussian_noise(view, sigma=self.query_noise_sigma, rng=rng)
+
+    def all_database_images(self) -> list[tuple[int, np.ndarray]]:
+        """(label, image) for the full database; distractors get label -1.
+
+        Scene labels are their indices ``0..num_scenes-1``.
+        """
+        images = [(index, self.scene(index)) for index in range(self.num_scenes)]
+        images.extend(
+            (-1, self.distractor(index)) for index in range(self.num_distractors)
+        )
+        return images

@@ -1,0 +1,136 @@
+"""Geometric image warps with bilinear sampling.
+
+Query views of a scene are the same wall seen "from substantially
+different angles"; we synthesize them by warping the frontal scene image
+with a homography induced by an off-axis camera, exactly the distortion
+family that degrades SIFT matching with angular separation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "affine_warp",
+    "homography_from_view_angle",
+    "perspective_warp",
+    "rotate_image",
+]
+
+
+def _bilinear_sample(image: np.ndarray, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Sample ``image`` at float coordinates; out-of-bounds reads clamp."""
+    height, width = image.shape
+    xs = np.clip(xs, 0.0, width - 1.001)
+    ys = np.clip(ys, 0.0, height - 1.001)
+    x0 = np.floor(xs).astype(np.int64)
+    y0 = np.floor(ys).astype(np.int64)
+    fx = (xs - x0).astype(np.float32)
+    fy = (ys - y0).astype(np.float32)
+    top = image[y0, x0] * (1 - fx) + image[y0, x0 + 1] * fx
+    bottom = image[y0 + 1, x0] * (1 - fx) + image[y0 + 1, x0 + 1] * fx
+    return top * (1 - fy) + bottom * fy
+
+
+def perspective_warp(
+    image: np.ndarray, homography: np.ndarray, fill: float = 0.5
+) -> np.ndarray:
+    """Warp ``image`` by a 3x3 homography (output pixel <- H^-1 input).
+
+    Output pixels whose source falls outside the image get ``fill``.
+    """
+    homography = np.asarray(homography, dtype=np.float64)
+    if homography.shape != (3, 3):
+        raise ValueError(f"homography must be 3x3, got {homography.shape}")
+    height, width = image.shape
+    inverse = np.linalg.inv(homography)
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    ones = np.ones_like(xs)
+    coords = np.stack([xs.ravel(), ys.ravel(), ones.ravel()])
+    mapped = inverse @ coords
+    with np.errstate(divide="ignore", invalid="ignore"):
+        src_x = mapped[0] / mapped[2]
+        src_y = mapped[1] / mapped[2]
+    inside = (
+        (src_x >= 0) & (src_x <= width - 1) & (src_y >= 0) & (src_y <= height - 1)
+        & np.isfinite(src_x) & np.isfinite(src_y)
+    )
+    out = np.full(height * width, fill, dtype=np.float32)
+    out[inside] = _bilinear_sample(
+        image.astype(np.float32), src_x[inside], src_y[inside]
+    )
+    return out.reshape(height, width)
+
+
+def affine_warp(
+    image: np.ndarray,
+    matrix: np.ndarray,
+    translation: tuple[float, float] = (0.0, 0.0),
+    fill: float = 0.5,
+) -> np.ndarray:
+    """Warp by a 2x2 linear map plus translation (about the image center)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (2, 2):
+        raise ValueError(f"matrix must be 2x2, got {matrix.shape}")
+    height, width = image.shape
+    center = np.array([(width - 1) / 2.0, (height - 1) / 2.0])
+    homography = np.eye(3)
+    homography[:2, :2] = matrix
+    shift = center - matrix @ center + np.asarray(translation, dtype=np.float64)
+    homography[:2, 2] = shift
+    return perspective_warp(image, homography, fill=fill)
+
+
+def rotate_image(image: np.ndarray, angle_radians: float, fill: float = 0.5) -> np.ndarray:
+    """Rotate about the image center."""
+    cos_a, sin_a = np.cos(angle_radians), np.sin(angle_radians)
+    return affine_warp(image, np.array([[cos_a, -sin_a], [sin_a, cos_a]]), fill=fill)
+
+
+def homography_from_view_angle(
+    width: int,
+    height: int,
+    yaw_radians: float,
+    pitch_radians: float = 0.0,
+    roll_radians: float = 0.0,
+    distance_ratio: float = 1.8,
+) -> np.ndarray:
+    """Homography of a planar scene seen from an off-axis camera.
+
+    Models the scene image as a plane at distance ``distance_ratio x
+    width`` from a pinhole camera that is rotated by (yaw, pitch, roll).
+    Yaw is rotation about the vertical axis — the paper's "substantially
+    different angles" along a corridor.
+    """
+    focal = distance_ratio * width
+    cx, cy = (width - 1) / 2.0, (height - 1) / 2.0
+    intrinsics = np.array([[focal, 0, cx], [0, focal, cy], [0, 0, 1.0]])
+
+    def rot_y(a: float) -> np.ndarray:
+        c, s = np.cos(a), np.sin(a)
+        return np.array([[c, 0, s], [0, 1, 0], [-s, 0, c]])
+
+    def rot_x(a: float) -> np.ndarray:
+        c, s = np.cos(a), np.sin(a)
+        return np.array([[1, 0, 0], [0, c, -s], [0, s, c]])
+
+    def rot_z(a: float) -> np.ndarray:
+        c, s = np.cos(a), np.sin(a)
+        return np.array([[c, -s, 0], [s, c, 0], [0, 0, 1]])
+
+    rotation = rot_z(roll_radians) @ rot_x(pitch_radians) @ rot_y(yaw_radians)
+    # Plane-induced homography for a fronto-parallel plane at depth f:
+    # H = K R K^-1 (rotation about the optical center) — the perspective
+    # foreshortening family SIFT must survive.  The photographer re-aims
+    # at the scene, so we compose a translation that maps the scene
+    # center back to the image center.
+    homography = intrinsics @ rotation @ np.linalg.inv(intrinsics)
+    homography /= homography[2, 2]
+    center = np.array([cx, cy, 1.0])
+    mapped = homography @ center
+    mapped /= mapped[2]
+    recenter = np.array(
+        [[1, 0, cx - mapped[0]], [0, 1, cy - mapped[1]], [0, 0, 1.0]]
+    )
+    homography = recenter @ homography
+    return homography / homography[2, 2]

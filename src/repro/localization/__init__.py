@@ -1,0 +1,26 @@
+"""Client localization from a fingerprint's matched 3D points.
+
+"VisualPrint applies spatial clustering to filter down to only those 3D
+points in the largest cluster" (outlier rejection), then solves the
+Fig. 12 nonlinear program: find the camera position whose perceived
+inter-keypoint angles best agree with the matched 3D geometry, "using a
+time-bounded differential evolution".
+"""
+
+from repro.localization.clustering import largest_cluster, dbscan_labels
+from repro.localization.metrics import error_by_axis, localization_errors
+from repro.localization.solver import (
+    AngularLocalizer,
+    LocalizationProblem,
+    LocalizationSolution,
+)
+
+__all__ = [
+    "AngularLocalizer",
+    "LocalizationProblem",
+    "LocalizationSolution",
+    "dbscan_labels",
+    "error_by_axis",
+    "largest_cluster",
+    "localization_errors",
+]

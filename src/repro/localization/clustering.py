@@ -1,0 +1,70 @@
+"""Spatial clustering of retrieved 3D points (DBSCAN, from scratch).
+
+Wrong LSH matches scatter across the venue; correct matches concentrate
+around the true scene.  Density clustering keeps "only those 3D points
+in the largest cluster P, discarding others".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["dbscan_labels", "largest_cluster"]
+
+NOISE = -1
+
+
+def dbscan_labels(
+    points: np.ndarray, eps: float, min_samples: int = 4
+) -> np.ndarray:
+    """Classic DBSCAN over 3D points; returns a label per point (-1 noise)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got {points.shape}")
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+    n = points.shape[0]
+    labels = np.full(n, NOISE, dtype=np.int64)
+    if n == 0:
+        return labels
+
+    tree = cKDTree(points)
+    neighborhoods = tree.query_ball_point(points, eps)
+    is_core = np.array([len(nb) >= min_samples for nb in neighborhoods])
+
+    cluster = 0
+    visited = np.zeros(n, dtype=bool)
+    for seed in range(n):
+        if visited[seed] or not is_core[seed]:
+            continue
+        # Breadth-first expansion from this core point.
+        queue = [seed]
+        visited[seed] = True
+        labels[seed] = cluster
+        while queue:
+            current = queue.pop()
+            for neighbor in neighborhoods[current]:
+                if labels[neighbor] == NOISE:
+                    labels[neighbor] = cluster
+                if not visited[neighbor]:
+                    visited[neighbor] = True
+                    if is_core[neighbor]:
+                        queue.append(neighbor)
+        cluster += 1
+    return labels
+
+
+def largest_cluster(
+    points: np.ndarray, eps: float, min_samples: int = 4
+) -> np.ndarray:
+    """Indices of the most populous DBSCAN cluster (empty if only noise)."""
+    labels = dbscan_labels(points, eps=eps, min_samples=min_samples)
+    valid = labels[labels != NOISE]
+    if valid.size == 0:
+        return np.empty(0, dtype=np.int64)
+    values, counts = np.unique(valid, return_counts=True)
+    winner = values[np.argmax(counts)]
+    return np.flatnonzero(labels == winner)

@@ -1,0 +1,34 @@
+"""Localization error accounting for Figs. 19 and 20."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.pose import Pose
+
+__all__ = ["localization_errors", "error_by_axis"]
+
+
+def localization_errors(
+    estimated: list[Pose], truth: list[Pose]
+) -> np.ndarray:
+    """3D position error per query (Fig. 19's CDF input), meters."""
+    if len(estimated) != len(truth):
+        raise ValueError("estimated and truth pose lists must align")
+    return np.array(
+        [est.position_error(ref) for est, ref in zip(estimated, truth)]
+    )
+
+
+def error_by_axis(
+    estimated: list[Pose], truth: list[Pose]
+) -> dict[str, np.ndarray]:
+    """Absolute per-axis errors (Fig. 20's boxplot input)."""
+    if len(estimated) != len(truth):
+        raise ValueError("estimated and truth pose lists must align")
+    deltas = np.array(
+        [np.abs(est.position - ref.position) for est, ref in zip(estimated, truth)]
+    )
+    if deltas.size == 0:
+        deltas = np.empty((0, 3))
+    return {"x": deltas[:, 0], "y": deltas[:, 1], "z": deltas[:, 2]}

@@ -1,0 +1,72 @@
+"""Canonical encoding of quantized LSH bucket vectors for hashing.
+
+Quantized buckets are small signed integers (``floor(projection / W)``).
+Bloom-filter hashing and bucket-key derivation both need a fixed-width
+unsigned representation; this module centralizes that conversion so the
+oracle, the server index, and the tests all agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.murmur3 import murmur3_32_vectors
+
+__all__ = ["QuantizedBuckets"]
+
+_BUCKET_BIAS = np.int64(1 << 20)
+
+
+class QuantizedBuckets:
+    """Wraps a ``(n, L, M)`` int64 bucket tensor with encoding helpers."""
+
+    def __init__(self, buckets: np.ndarray) -> None:
+        buckets = np.asarray(buckets, dtype=np.int64)
+        if buckets.ndim != 3:
+            raise ValueError(f"buckets must be (n, L, M), got shape {buckets.shape}")
+        if np.any(np.abs(buckets) >= _BUCKET_BIAS):
+            raise ValueError(
+                "bucket indices exceed the +/-2^20 encoding range; "
+                "quantization width W is implausibly small"
+            )
+        self.buckets = buckets
+
+    @property
+    def num_items(self) -> int:
+        return self.buckets.shape[0]
+
+    @property
+    def num_tables(self) -> int:
+        return self.buckets.shape[1]
+
+    @property
+    def num_projections(self) -> int:
+        return self.buckets.shape[2]
+
+    def table_vectors(self, table: int) -> np.ndarray:
+        """Unsigned ``(n, M)`` uint32 vectors for one LSH table.
+
+        A constant bias shifts the signed bucket indices into unsigned
+        range so the mapping is injective (no wraparound aliasing).
+        """
+        return (self.buckets[:, table, :] + _BUCKET_BIAS).astype(np.uint32)
+
+    def table_keys(self, table: int, seed_base: int = 0) -> np.ndarray:
+        """64-bit bucket keys for one table (two Murmur-3 passes).
+
+        Used as dictionary keys in :class:`repro.lsh.LshIndex`.  Key
+        collisions are possible but harmless: index candidates are always
+        re-verified with exact Euclidean distances.
+        """
+        vectors = self.table_vectors(table)
+        low = murmur3_32_vectors(vectors, seed=seed_base + 2 * table).astype(np.uint64)
+        high = murmur3_32_vectors(vectors, seed=seed_base + 2 * table + 1).astype(
+            np.uint64
+        )
+        return (high << np.uint64(32)) | low
+
+    def perturbed(self, table: int, projection: int, delta: int) -> np.ndarray:
+        """One-cell perturbation of a single coordinate (multiprobe)."""
+        vectors = self.buckets[:, table, :].copy()
+        vectors[:, projection] += delta
+        return (vectors + _BUCKET_BIAS).astype(np.uint32)

@@ -1,0 +1,221 @@
+"""Multi-table LSH index for Euclidean nearest-neighbor lookup.
+
+This is the server-side "large-scale image-based content retrieval table"
+of the paper: each indexed descriptor carries an opaque payload id (in
+VisualPrint, a row into the keypoint-to-3D-position table).  Queries
+collect candidates from every table's bucket (optionally multiprobing
+adjacent cells), then re-rank candidates by exact Euclidean distance —
+so hash-key collisions never produce wrong matches, only extra work.
+
+The index deliberately stores descriptors once but bucket references L
+times; :meth:`LshIndex.memory_bytes` reports that replication, which is
+what makes conventional LSH "an extremely large memory footprint, much
+larger than the input data" in Fig. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lsh.buckets import QuantizedBuckets
+from repro.lsh.projections import E2LSHParams, StableProjections
+from repro.util.validation import check_positive
+
+__all__ = ["LshIndex", "LshMatch"]
+
+
+@dataclass(frozen=True)
+class LshMatch:
+    """One nearest-neighbor candidate returned by the index."""
+
+    item_id: int
+    distance: float
+
+
+class LshIndex:
+    """E2LSH index over 128-D descriptors with integer payload ids."""
+
+    def __init__(
+        self,
+        params: E2LSHParams | None = None,
+        seed: int = 0,
+        max_probes_per_table: int = 2,
+        max_bucket_size: int = 512,
+    ) -> None:
+        if max_probes_per_table < 0:
+            raise ValueError("max_probes_per_table must be non-negative")
+        if max_bucket_size < 1:
+            raise ValueError("max_bucket_size must be >= 1")
+        self.params = params or E2LSHParams()
+        self.projections = StableProjections(self.params, seed=seed)
+        self.max_probes_per_table = int(max_probes_per_table)
+        # Overfull buckets hold near-duplicate content (e.g. a wallpaper
+        # pattern repeated across a building); capping them bounds query
+        # cost, as production E2LSH deployments do.  Dropped entries are
+        # precisely the ones the ratio test would reject anyway.
+        self.max_bucket_size = int(max_bucket_size)
+        self._tables: list[dict[int, np.ndarray]] = [
+            {} for _ in range(self.params.num_tables)
+        ]
+        self._descriptors: np.ndarray | None = None
+        self._item_ids: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of indexed descriptors."""
+        return 0 if self._descriptors is None else int(self._descriptors.shape[0])
+
+    def build(self, descriptors: np.ndarray, item_ids: np.ndarray) -> None:
+        """(Re)build the index over ``descriptors`` with per-row payload ids."""
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if descriptors.ndim != 2:
+            raise ValueError(f"descriptors must be 2-D, got {descriptors.shape}")
+        if item_ids.shape != (descriptors.shape[0],):
+            raise ValueError(
+                "item_ids must have one entry per descriptor, got "
+                f"{item_ids.shape} for {descriptors.shape[0]} descriptors"
+            )
+        self._descriptors = descriptors
+        self._item_ids = item_ids
+        quantized = QuantizedBuckets(self.projections.quantize(descriptors))
+        self._tables = []
+        for table in range(self.params.num_tables):
+            keys = quantized.table_keys(table)
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+            groups = np.split(order, boundaries)
+            starts = np.concatenate(([0], boundaries))
+            table_map = {
+                int(sorted_keys[start]): group[: self.max_bucket_size].astype(np.int32)
+                for start, group in zip(starts, groups)
+            }
+            self._tables.append(table_map)
+
+    def _candidate_rows_batch(self, descriptors: np.ndarray) -> list[np.ndarray]:
+        """Candidate row sets for ``(n, d)`` query descriptors at once.
+
+        All hashing (original buckets plus multiprobe perturbations) is
+        vectorized across queries; only the final dictionary lookups run
+        per query.
+        """
+        from repro.hashing.murmur3 import murmur3_32_vectors
+
+        buckets, residuals = self.projections.quantize_with_residuals(descriptors)
+        num_queries = buckets.shape[0]
+        per_query: list[list[np.ndarray]] = [[] for _ in range(num_queries)]
+        bias = np.int64(1 << 20)
+
+        for table in range(self.params.num_tables):
+            table_buckets = buckets[:, table, :]  # (n, M)
+            table_residuals = residuals[:, table, :]
+            probe_vectors = [table_buckets]
+            if self.max_probes_per_table > 0:
+                # Rank boundary distances per query: residual r means the
+                # lower neighbor is r away, the upper 1 - r.
+                boundary = np.concatenate(
+                    [table_residuals, 1.0 - table_residuals], axis=1
+                )  # (n, 2M): first M = delta -1, last M = delta +1
+                ranked = np.argsort(boundary, axis=1)[:, : self.max_probes_per_table]
+                for probe_rank in range(ranked.shape[1]):
+                    choice = ranked[:, probe_rank]
+                    projection = choice % self.params.num_projections
+                    delta = np.where(
+                        choice < self.params.num_projections, -1, 1
+                    ).astype(np.int64)
+                    perturbed = table_buckets.copy()
+                    perturbed[np.arange(num_queries), projection] += delta
+                    probe_vectors.append(perturbed)
+            table_map = self._tables[table]
+            for probe in probe_vectors:
+                unsigned = (probe + bias).astype(np.uint32)
+                low = murmur3_32_vectors(unsigned, seed=2 * table).astype(np.uint64)
+                high = murmur3_32_vectors(unsigned, seed=2 * table + 1).astype(
+                    np.uint64
+                )
+                keys = (high << np.uint64(32)) | low
+                for query_index, key in enumerate(keys):
+                    rows = table_map.get(int(key))
+                    if rows is not None:
+                        per_query[query_index].append(rows)
+        return [
+            np.unique(np.concatenate(rows)) if rows else np.empty(0, dtype=np.int32)
+            for rows in per_query
+        ]
+
+    def _candidate_rows(self, descriptor: np.ndarray) -> np.ndarray:
+        return self._candidate_rows_batch(descriptor.reshape(1, -1))[0]
+
+    def query(self, descriptor: np.ndarray, num_neighbors: int = 1) -> list[LshMatch]:
+        """Approximate nearest neighbors of one descriptor.
+
+        Returns up to ``num_neighbors`` matches ordered by exact distance;
+        may return fewer (or none) when no bucket holds candidates — the
+        defining failure mode E2LSH trades for speed.
+        """
+        check_positive("num_neighbors", num_neighbors)
+        if self._descriptors is None or self._item_ids is None:
+            raise RuntimeError("index is empty; call build() first")
+        descriptor = np.asarray(descriptor, dtype=np.float32).reshape(1, -1)
+        rows = self._candidate_rows(descriptor)
+        if rows.size == 0:
+            return []
+        deltas = self._descriptors[rows] - descriptor
+        distances = np.sqrt((deltas.astype(np.float64) ** 2).sum(axis=1))
+        order = np.argsort(distances)[:num_neighbors]
+        return [
+            LshMatch(item_id=int(self._item_ids[rows[i]]), distance=float(distances[i]))
+            for i in order
+        ]
+
+    def query_batch(
+        self, descriptors: np.ndarray, num_neighbors: int = 1
+    ) -> list[list[LshMatch]]:
+        """Query many descriptors; one (possibly empty) match list per row."""
+        check_positive("num_neighbors", num_neighbors)
+        if self._descriptors is None or self._item_ids is None:
+            raise RuntimeError("index is empty; call build() first")
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        if descriptors.ndim != 2:
+            raise ValueError(f"descriptors must be 2-D, got {descriptors.shape}")
+        candidate_sets = self._candidate_rows_batch(descriptors)
+        results: list[list[LshMatch]] = []
+        for query, rows in zip(descriptors, candidate_sets):
+            if rows.size == 0:
+                results.append([])
+                continue
+            deltas = self._descriptors[rows].astype(np.float64) - query.astype(
+                np.float64
+            )
+            distances = np.sqrt((deltas**2).sum(axis=1))
+            order = np.argsort(distances)[:num_neighbors]
+            results.append(
+                [
+                    LshMatch(
+                        item_id=int(self._item_ids[rows[i]]),
+                        distance=float(distances[i]),
+                    )
+                    for i in order
+                ]
+            )
+        return results
+
+    def memory_bytes(self) -> int:
+        """In-memory footprint: descriptors + L-fold bucket references."""
+        total = 0
+        if self._descriptors is not None:
+            total += self._descriptors.nbytes
+        if self._item_ids is not None:
+            total += self._item_ids.nbytes
+        for table_map in self._tables:
+            # dict overhead approximated by key + pointer per entry.
+            total += len(table_map) * 16
+            total += sum(rows.nbytes for rows in table_map.values())
+        return total
+
+    def disk_bytes(self) -> int:
+        """Serialized (uncompressed) footprint for Fig. 15's disk column."""
+        return self.memory_bytes()

@@ -1,0 +1,37 @@
+"""Matching schemes for the Fig. 13 comparison.
+
+Five regimes, mirroring the paper's evaluation:
+
+* ``BruteForce`` — exact Euclidean nearest neighbor over all database
+  descriptors (the paper ran this on a GPU; here it's chunked numpy).
+* ``LSH`` — E2LSH approximate NN over all query keypoints, "as would be
+  typical of a large-scale reverse image search".
+* ``Random`` — uniform keypoint subsampling, "lower-bound ... with no
+  intelligence in feature subselection".
+* ``VisualPrint-k`` — the paper's system: the oracle-ranked top-k most
+  unique keypoints (implemented in :mod:`repro.core`; exposed here via
+  the common scheme protocol).
+
+Every scheme funnels matched keypoints into the same scene-voting
+predictor so Fig. 13 compares subselection policies, not back-ends.
+"""
+
+from repro.matching.bruteforce import BruteForceMatcher
+from repro.matching.lsh_match import LshMatcher
+from repro.matching.random_select import random_subselect
+from repro.matching.schemes import (
+    MatchOutcome,
+    SceneDatabase,
+    SchemeResult,
+    vote_scene,
+)
+
+__all__ = [
+    "BruteForceMatcher",
+    "LshMatcher",
+    "MatchOutcome",
+    "SceneDatabase",
+    "SchemeResult",
+    "random_subselect",
+    "vote_scene",
+]

@@ -1,0 +1,27 @@
+"""Uniform keypoint subsampling — the paper's strawman baseline.
+
+"Random picks 500 random keypoints from the query image and uploads them
+to the server for matching ... a lower-bound on VisualPrint's
+performance (one with no intelligence in feature subselection)."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.keypoint import KeypointSet
+
+__all__ = ["random_subselect"]
+
+
+def random_subselect(
+    keypoints: KeypointSet, count: int, rng: np.random.Generator
+) -> KeypointSet:
+    """Pick ``count`` keypoints uniformly without replacement."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    total = len(keypoints)
+    if count >= total:
+        return keypoints
+    chosen = rng.choice(total, size=count, replace=False)
+    return keypoints.select(np.sort(chosen))

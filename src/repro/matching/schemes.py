@@ -1,0 +1,144 @@
+"""Scene database and the shared scene-voting predictor.
+
+All five Fig. 13 regimes reduce to: match a (sub)set of query keypoints
+against the database, then let matched keypoints vote for the scene that
+owns their database counterpart.  The query is predicted to capture the
+scene with the most votes, provided the winner clears an absolute and a
+relative support threshold (otherwise "no scene" — the right answer for
+distractor content).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.features.keypoint import KeypointSet
+
+__all__ = ["MatchOutcome", "SceneDatabase", "SchemeResult", "vote_scene"]
+
+NO_SCENE = -1
+
+
+@dataclass
+class SceneDatabase:
+    """All database keypoints with their owning scene labels.
+
+    ``labels`` holds the scene index per keypoint, or ``-1`` for
+    keypoints that belong to distractor images.
+    """
+
+    descriptors: np.ndarray  # (n, 128)
+    labels: np.ndarray  # (n,)
+    image_ids: np.ndarray  # (n,) source image index (scenes + distractors)
+
+    def __post_init__(self) -> None:
+        n = self.descriptors.shape[0]
+        if self.labels.shape != (n,) or self.image_ids.shape != (n,):
+            raise ValueError("database arrays must align")
+
+    @classmethod
+    def from_keypoint_sets(
+        cls, keypoint_sets: list[KeypointSet], labels: list[int]
+    ) -> "SceneDatabase":
+        """Build from per-image keypoint sets and per-image scene labels."""
+        if len(keypoint_sets) != len(labels):
+            raise ValueError("one label per keypoint set required")
+        descriptors = []
+        label_rows = []
+        image_rows = []
+        for image_index, (keypoints, label) in enumerate(zip(keypoint_sets, labels)):
+            descriptors.append(keypoints.descriptors)
+            label_rows.append(np.full(len(keypoints), label, dtype=np.int64))
+            image_rows.append(np.full(len(keypoints), image_index, dtype=np.int64))
+        return cls(
+            descriptors=np.vstack(descriptors).astype(np.float32),
+            labels=np.concatenate(label_rows),
+            image_ids=np.concatenate(image_rows),
+        )
+
+    @property
+    def size(self) -> int:
+        return int(self.descriptors.shape[0])
+
+    @property
+    def scene_ids(self) -> np.ndarray:
+        """Distinct real scene labels (excludes the distractor label)."""
+        return np.unique(self.labels[self.labels != NO_SCENE])
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """Scene prediction for one query frame."""
+
+    predicted_scene: int  # NO_SCENE when no confident winner
+    votes: dict[int, int] = field(default_factory=dict)
+    matched_keypoints: int = 0
+
+
+def vote_scene(
+    matched_labels: np.ndarray,
+    min_votes: int = 8,
+    min_margin: float = 1.5,
+) -> MatchOutcome:
+    """Predict the scene from matched database keypoint labels.
+
+    The winner must collect at least ``min_votes`` matches and beat the
+    runner-up by ``min_margin`` x (distractor matches count as a
+    competing "scene" so repetitive content can veto weak predictions).
+    """
+    matched_labels = np.asarray(matched_labels)
+    if matched_labels.size == 0:
+        return MatchOutcome(predicted_scene=NO_SCENE)
+    values, counts = np.unique(matched_labels, return_counts=True)
+    votes = {int(v): int(c) for v, c in zip(values, counts)}
+    scene_mask = values != NO_SCENE
+    if not scene_mask.any():
+        return MatchOutcome(
+            predicted_scene=NO_SCENE, votes=votes, matched_keypoints=int(counts.sum())
+        )
+    scene_values = values[scene_mask]
+    scene_counts = counts[scene_mask]
+    order = np.argsort(-scene_counts)
+    best_scene = int(scene_values[order[0]])
+    best_count = int(scene_counts[order[0]])
+    runner_up = int(scene_counts[order[1]]) if order.size > 1 else 0
+    confident = best_count >= min_votes and best_count >= min_margin * max(
+        runner_up, 1
+    )
+    return MatchOutcome(
+        predicted_scene=best_scene if confident else NO_SCENE,
+        votes=votes,
+        matched_keypoints=int(counts.sum()),
+    )
+
+
+@dataclass
+class SchemeResult:
+    """Per-query predictions of one scheme over a whole workload."""
+
+    scheme: str
+    true_scenes: np.ndarray  # (q,) ground truth scene per query
+    predicted_scenes: np.ndarray  # (q,)
+    uploaded_keypoints: np.ndarray  # (q,) how many keypoints went on the wire
+
+    def precision_recall_per_scene(
+        self, scene_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-scene precision/recall exactly as defined in the paper.
+
+        For scene ``k``: precision = |V ∩ P| / |P| and recall =
+        |V ∩ P| / |V|, where V are queries truly capturing ``k`` and P
+        the queries predicted as ``k``.  Scenes never predicted get
+        precision 0 (the paper's CDFs include such scenes at the origin).
+        """
+        precisions = np.zeros(scene_ids.size)
+        recalls = np.zeros(scene_ids.size)
+        for i, scene in enumerate(scene_ids):
+            truly = self.true_scenes == scene
+            predicted = self.predicted_scenes == scene
+            hits = int((truly & predicted).sum())
+            precisions[i] = hits / predicted.sum() if predicted.any() else 0.0
+            recalls[i] = hits / truly.sum() if truly.any() else 0.0
+        return precisions, recalls

@@ -1,0 +1,22 @@
+"""Uplink channel model, sustainable-FPS math, and upload traces.
+
+Figure 2 ("uplink bandwidth versus sustainable frames per second, by
+encoding") and Figure 14 ("cumulative data upload by execution time")
+are deterministic functions of payload sizes and channel rate; this
+package provides those functions plus LTE/WiFi presets with jitter for
+latency experiments.
+"""
+
+from repro.network.channel import CHANNEL_PRESETS, UplinkChannel
+from repro.network.fps import sustainable_fps, fps_curve
+from repro.network.upload import UploadEvent, UploadTrace, simulate_stream
+
+__all__ = [
+    "CHANNEL_PRESETS",
+    "UplinkChannel",
+    "UploadEvent",
+    "UploadTrace",
+    "fps_curve",
+    "simulate_stream",
+    "sustainable_fps",
+]

@@ -1,0 +1,70 @@
+"""Uplink channel: bandwidth, propagation delay, jitter.
+
+"Several factors including the distance between the device and cloud,
+network bandwidth and channel, and sheer data quantity contribute to"
+end-to-end latency; the model keeps exactly those three terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["UplinkChannel", "CHANNEL_PRESETS"]
+
+
+@dataclass(frozen=True)
+class UplinkChannel:
+    """A fixed-rate uplink with additive RTT and lognormal jitter."""
+
+    name: str
+    bandwidth_mbps: float
+    rtt_ms: float = 40.0
+    jitter_sigma: float = 0.2  # lognormal sigma on the RTT term
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_mbps", self.bandwidth_mbps)
+        check_positive("rtt_ms", self.rtt_ms)
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_mbps * 1e6 / 8.0
+
+    def serialization_seconds(self, num_bytes: int) -> float:
+        """Pure transmission time for a payload."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return num_bytes / self.bytes_per_second
+
+    def transfer_seconds(
+        self, num_bytes: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """One-way upload latency: serialization + half-RTT (+ jitter)."""
+        base = self.serialization_seconds(num_bytes) + self.rtt_ms / 2e3
+        if rng is None or self.jitter_sigma == 0:
+            return base
+        jitter = float(rng.lognormal(mean=0.0, sigma=self.jitter_sigma))
+        return self.serialization_seconds(num_bytes) + self.rtt_ms / 2e3 * jitter
+
+    def round_trip_seconds(
+        self,
+        upload_bytes: int,
+        response_bytes: int = 256,
+        server_seconds: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Query latency: upload + server compute + (small) response."""
+        up = self.transfer_seconds(upload_bytes, rng)
+        down = self.transfer_seconds(response_bytes, rng)
+        return up + server_seconds + down
+
+
+CHANNEL_PRESETS: dict[str, UplinkChannel] = {
+    # Typical sustained uplink rates (not headline peaks).
+    "3g": UplinkChannel(name="3g", bandwidth_mbps=1.0, rtt_ms=120.0),
+    "lte": UplinkChannel(name="lte", bandwidth_mbps=8.0, rtt_ms=60.0),
+    "wifi": UplinkChannel(name="wifi", bandwidth_mbps=30.0, rtt_ms=15.0),
+}

@@ -1,0 +1,32 @@
+"""Sustainable frame rate as a function of uplink bandwidth (Fig. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["sustainable_fps", "fps_curve"]
+
+
+def sustainable_fps(bandwidth_mbps: float, bytes_per_frame: float) -> float:
+    """Frames per second a stream can sustain at the given uplink rate.
+
+    The Fig. 2 quantity: ``rate / frame size``.  A 523 KB PNG frame on a
+    2 Mbps uplink sustains well under 1 FPS; the figure's log-log lines
+    are exactly this function per encoder.
+    """
+    check_positive("bandwidth_mbps", bandwidth_mbps)
+    check_positive("bytes_per_frame", bytes_per_frame)
+    return bandwidth_mbps * 1e6 / 8.0 / bytes_per_frame
+
+
+def fps_curve(
+    bandwidths_mbps: np.ndarray, bytes_per_frame: float
+) -> np.ndarray:
+    """Vectorized :func:`sustainable_fps` over an uplink sweep."""
+    bandwidths_mbps = np.asarray(bandwidths_mbps, dtype=np.float64)
+    if np.any(bandwidths_mbps <= 0):
+        raise ValueError("bandwidths must be positive")
+    check_positive("bytes_per_frame", bytes_per_frame)
+    return bandwidths_mbps * 1e6 / 8.0 / bytes_per_frame

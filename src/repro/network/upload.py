@@ -1,0 +1,87 @@
+"""Cumulative upload traces (Fig. 14).
+
+Simulates a capture session: frames arrive at the camera rate; each
+produces a payload (whole frame, or a VisualPrint fingerprint) that
+queues on the uplink.  The trace records cumulative bytes sent over
+time — the two curves of Fig. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.channel import UplinkChannel
+
+__all__ = ["UploadEvent", "UploadTrace", "simulate_stream"]
+
+
+@dataclass(frozen=True)
+class UploadEvent:
+    """One payload leaving the device."""
+
+    time_seconds: float  # when the upload completes
+    payload_bytes: int
+    cumulative_bytes: int
+
+
+@dataclass
+class UploadTrace:
+    """The cumulative-upload curve for one scheme."""
+
+    scheme: str
+    events: list[UploadEvent] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.events[-1].cumulative_bytes if self.events else 0
+
+    def cumulative_at(self, times: np.ndarray) -> np.ndarray:
+        """Cumulative bytes sent by each query time (step interpolation)."""
+        times = np.asarray(times, dtype=np.float64)
+        if not self.events:
+            return np.zeros_like(times)
+        event_times = np.array([e.time_seconds for e in self.events])
+        cumulative = np.array([e.cumulative_bytes for e in self.events])
+        indices = np.searchsorted(event_times, times, side="right") - 1
+        out = np.where(indices >= 0, cumulative[np.maximum(indices, 0)], 0)
+        return out.astype(np.float64)
+
+
+def simulate_stream(
+    scheme: str,
+    payload_bytes_per_frame: list[int],
+    channel: UplinkChannel,
+    capture_fps: float = 10.0,
+    drop_when_backlogged: bool = True,
+) -> UploadTrace:
+    """Run a capture session through the uplink.
+
+    Frames are captured every ``1 / capture_fps`` seconds.  If the
+    uplink is still busy when a new frame arrives, the frame is dropped
+    (the paper's client "rejects frames when processing falls behind the
+    realtime stream") unless ``drop_when_backlogged`` is False, in which
+    case frames queue.
+    """
+    if capture_fps <= 0:
+        raise ValueError(f"capture_fps must be positive, got {capture_fps}")
+    trace = UploadTrace(scheme=scheme)
+    uplink_free_at = 0.0
+    cumulative = 0
+    for frame_index, payload in enumerate(payload_bytes_per_frame):
+        capture_time = frame_index / capture_fps
+        if drop_when_backlogged and uplink_free_at > capture_time:
+            continue
+        start = max(capture_time, uplink_free_at)
+        finish = start + channel.serialization_seconds(payload)
+        uplink_free_at = finish
+        cumulative += payload
+        trace.events.append(
+            UploadEvent(
+                time_seconds=finish,
+                payload_bytes=payload,
+                cumulative_bytes=cumulative,
+            )
+        )
+    return trace

@@ -1,0 +1,44 @@
+"""Seeded random-number streams.
+
+Every stochastic piece of the reproduction (scene synthesis, LSH
+projections, pose drift, channel jitter, ...) takes its randomness from a
+named stream derived from a single experiment seed.  Streams with
+different names are statistically independent; the same ``(seed, name)``
+pair always yields the same stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "rng_for", "spawn_children"]
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """Derive a child seed from ``seed`` and a human-readable stream name.
+
+    Uses SHA-256 so unrelated names never collide in practice and the
+    derivation is stable across Python versions (unlike ``hash``).
+    """
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def rng_for(seed: int, name: str) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for stream ``name``.
+
+    >>> a = rng_for(7, "lsh")
+    >>> b = rng_for(7, "lsh")
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+    return np.random.default_rng(derive_seed(seed, name))
+
+
+def spawn_children(seed: int, name: str, count: int) -> list[np.random.Generator]:
+    """Return ``count`` independent generators under one stream name."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [rng_for(seed, f"{name}/{index}") for index in range(count)]

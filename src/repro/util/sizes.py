@@ -1,0 +1,41 @@
+"""Byte-size helpers used by the bandwidth, memory, and codec experiments."""
+
+from __future__ import annotations
+
+import gzip
+
+import numpy as np
+
+__all__ = ["KIB", "MIB", "GIB", "format_bytes", "gzip_size", "ndarray_nbytes"]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary unit suffix.
+
+    >>> format_bytes(51.2 * 1024)
+    '51.2 KiB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def gzip_size(payload: bytes, level: int = 9) -> int:
+    """Size of ``payload`` after GZIP compression at the given level."""
+    return len(gzip.compress(payload, compresslevel=level))
+
+
+def ndarray_nbytes(*arrays: np.ndarray) -> int:
+    """Total in-memory footprint of the given arrays."""
+    return int(sum(array.nbytes for array in arrays))

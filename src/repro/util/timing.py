@@ -1,0 +1,62 @@
+"""Wall-clock measurement helpers for the latency experiments (Fig. 16)."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Stopwatch", "time_call"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock intervals.
+
+    >>> watch = Stopwatch()
+    >>> with watch.measure("sift"):
+    ...     _ = sum(range(1000))
+    >>> watch.total("sift") > 0
+    True
+    """
+
+    intervals: dict[str, list[float]] = field(default_factory=dict)
+
+    def measure(self, name: str) -> "_Interval":
+        return _Interval(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"interval must be non-negative, got {seconds}")
+        self.intervals.setdefault(name, []).append(seconds)
+
+    def total(self, name: str) -> float:
+        return sum(self.intervals.get(name, []))
+
+    def count(self, name: str) -> int:
+        return len(self.intervals.get(name, []))
+
+    def samples(self, name: str) -> list[float]:
+        return list(self.intervals.get(name, []))
+
+
+class _Interval:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Interval":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._watch.record(self._name, time.perf_counter() - self._start)
+
+
+def time_call(func: Callable[..., Any], *args: Any, **kwargs: Any) -> tuple[Any, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,45 @@
+"""Argument validation helpers.
+
+Raising early with a message that names the offending parameter keeps the
+numeric code paths free of silent shape/unit mistakes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_positive", "check_probability", "check_in_range", "check_shape"]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` lies in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise :class:`ValueError` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def check_shape(name: str, array: np.ndarray, shape: tuple[int | None, ...]) -> None:
+    """Raise :class:`ValueError` unless ``array`` matches ``shape``.
+
+    ``None`` entries in ``shape`` match any extent along that axis.
+    """
+    if array.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {array.shape}"
+        )
+    for axis, (actual, expected) in enumerate(zip(array.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"{name} axis {axis} must have extent {expected}, got shape {array.shape}"
+            )

@@ -1,0 +1,55 @@
+"""Wardriving substrate: a simulated Project-Tango rig.
+
+The paper wardrives three venues with a Google Tango: the rig reports
+RGB keypoints, an IR depth map, and a 6-DoF pose tracked by VSLAM —
+where the pose "naturally reflect[s] some amount of drift from true
+positions".  Tango hardware is unavailable, so this package simulates
+the rig against a ground-truth feature-level environment:
+
+* :class:`IndoorEnvironment` — office / cafeteria / grocery worlds whose
+  walls carry *landmarks*: 3D points with SIFT-style descriptors, split
+  into globally-unique content and building-wide repeated motifs.
+* :class:`TangoRig` — captures snapshots along a walking path; observed
+  pixels/depths/descriptors are noisy, and the reported pose drifts via
+  a dead-reckoning random walk (configurable, so the ICP ablation can
+  measure correction).
+* :func:`icp_align` / :func:`merge_snapshots` — the paper's
+  post-processing: "iterative closest point (ICP) heuristics to merge
+  Tango 3D depth maps ... into a single coherent point cloud", undoing
+  most of the drift before keypoint-to-3D mappings reach the server.
+"""
+
+from repro.wardrive.depth import render_depth_map
+from repro.wardrive.environment import (
+    ENVIRONMENT_SPECS,
+    EnvironmentSpec,
+    IndoorEnvironment,
+    random_sift_descriptor,
+)
+from repro.wardrive.icp import IcpResult, icp_align, icp_point_to_plane, merge_snapshots
+from repro.wardrive.session import (
+    WardriveResult,
+    WardriveSession,
+    calibration_sweep,
+    lawnmower_path,
+)
+from repro.wardrive.tango import DriftModel, Snapshot, TangoRig
+
+__all__ = [
+    "ENVIRONMENT_SPECS",
+    "DriftModel",
+    "EnvironmentSpec",
+    "IcpResult",
+    "IndoorEnvironment",
+    "Snapshot",
+    "TangoRig",
+    "WardriveResult",
+    "WardriveSession",
+    "calibration_sweep",
+    "icp_align",
+    "icp_point_to_plane",
+    "lawnmower_path",
+    "merge_snapshots",
+    "random_sift_descriptor",
+    "render_depth_map",
+]

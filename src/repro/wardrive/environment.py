@@ -1,0 +1,190 @@
+"""Feature-level indoor environments.
+
+An environment is a box-shaped venue whose walls (and mid-room shelving,
+for the grocery) carry *landmarks*: 3D points with SIFT-style integer
+descriptors.  Landmarks come in two entropy classes mirroring the
+paper's observation:
+
+* **unique** — one-of-a-kind content (art, signage, distinctive
+  clutter); each landmark gets an independent random descriptor.
+* **repeated** — building-wide motifs (door knobs, tiles, chairs): a
+  small motif pool whose members recur at many positions with small
+  descriptor perturbations, "unique in a room, but repeated in every
+  room of a building".
+
+The three paper venues are parameterized by :data:`ENVIRONMENT_SPECS`:
+office 50x20 m, cafeteria 50x15 m, grocery 80x50 m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import rng_for
+
+__all__ = [
+    "ENVIRONMENT_SPECS",
+    "EnvironmentSpec",
+    "IndoorEnvironment",
+    "random_sift_descriptor",
+]
+
+
+def random_sift_descriptor(rng: np.random.Generator) -> np.ndarray:
+    """Sample a statistically SIFT-like 128-D integer descriptor.
+
+    Real SIFT descriptors are sparse and non-negative with a hard cap
+    from the 0.2 illumination clamp.  We sample exponential magnitudes,
+    zero most entries, then apply the exact normalize/clip/renormalize/
+    integerize pipeline from :class:`repro.features.SiftExtractor`.
+    """
+    raw = rng.exponential(1.0, size=128)
+    mask = rng.random(128) < 0.55  # ~45% of bins active, as in real SIFT
+    raw[mask] = 0.0
+    norm = np.linalg.norm(raw)
+    if norm < 1e-9:
+        raw[rng.integers(0, 128)] = 1.0
+        norm = 1.0
+    clipped = np.minimum(raw / norm, 0.2)
+    clipped /= max(np.linalg.norm(clipped), 1e-9)
+    return np.clip(np.rint(clipped * 512.0), 0, 255).astype(np.float32)
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """Venue geometry and landmark budget."""
+
+    name: str
+    width: float  # extent along x, meters
+    depth: float  # extent along y, meters
+    height: float = 3.0
+    num_unique: int = 1200
+    num_repeated_motifs: int = 24
+    repeats_per_motif: int = 60
+    has_aisles: bool = False  # grocery shelving adds interior walls
+
+
+ENVIRONMENT_SPECS: dict[str, EnvironmentSpec] = {
+    "office": EnvironmentSpec(name="office", width=50.0, depth=20.0),
+    "cafeteria": EnvironmentSpec(name="cafeteria", width=50.0, depth=15.0),
+    "grocery": EnvironmentSpec(
+        name="grocery",
+        width=80.0,
+        depth=50.0,
+        num_unique=2000,
+        num_repeated_motifs=30,
+        repeats_per_motif=90,
+        has_aisles=True,
+    ),
+}
+
+
+class IndoorEnvironment:
+    """Ground-truth world: landmark positions, descriptors, entropy class."""
+
+    def __init__(
+        self,
+        spec: EnvironmentSpec,
+        positions: np.ndarray,
+        descriptors: np.ndarray,
+        is_unique: np.ndarray,
+    ) -> None:
+        if positions.shape[0] != descriptors.shape[0] != is_unique.shape[0]:
+            raise ValueError("landmark arrays must align")
+        self.spec = spec
+        self.positions = positions.astype(np.float64)
+        self.descriptors = descriptors.astype(np.float32)
+        self.is_unique = is_unique.astype(bool)
+
+    @classmethod
+    def build(cls, kind: str, seed: int = 0) -> "IndoorEnvironment":
+        """Generate the named venue deterministically from ``seed``."""
+        if kind not in ENVIRONMENT_SPECS:
+            raise ValueError(
+                f"unknown environment {kind!r}; choose from {sorted(ENVIRONMENT_SPECS)}"
+            )
+        spec = ENVIRONMENT_SPECS[kind]
+        rng = rng_for(seed, f"environment/{kind}")
+
+        surfaces = cls._wall_surfaces(spec)
+        positions: list[np.ndarray] = []
+        descriptors: list[np.ndarray] = []
+        is_unique: list[bool] = []
+
+        # Unique landmarks: independent descriptors, scattered on surfaces.
+        for _ in range(spec.num_unique):
+            positions.append(cls._sample_on_surface(surfaces, rng, spec.height))
+            descriptors.append(random_sift_descriptor(rng))
+            is_unique.append(True)
+
+        # Repeated motifs: same base descriptor, many placements, small
+        # per-placement perturbation (viewing/lighting variation).
+        for _ in range(spec.num_repeated_motifs):
+            base = random_sift_descriptor(rng)
+            for _ in range(spec.repeats_per_motif):
+                positions.append(cls._sample_on_surface(surfaces, rng, spec.height))
+                jitter = rng.normal(0.0, 4.0, size=128)
+                descriptors.append(
+                    np.clip(base + jitter, 0, 255).astype(np.float32)
+                )
+                is_unique.append(False)
+
+        return cls(
+            spec=spec,
+            positions=np.array(positions),
+            descriptors=np.array(descriptors),
+            is_unique=np.array(is_unique),
+        )
+
+    @staticmethod
+    def _wall_surfaces(spec: EnvironmentSpec) -> list[tuple[np.ndarray, np.ndarray, float]]:
+        """Surfaces as (origin, along-direction, length) segments in the
+        horizontal plane; landmarks get a random height on the segment's
+        vertical plane."""
+        width, depth = spec.width, spec.depth
+        surfaces = [
+            (np.array([0.0, 0.0]), np.array([1.0, 0.0]), width),  # south wall
+            (np.array([0.0, depth]), np.array([1.0, 0.0]), width),  # north wall
+            (np.array([0.0, 0.0]), np.array([0.0, 1.0]), depth),  # west wall
+            (np.array([width, 0.0]), np.array([0.0, 1.0]), depth),  # east wall
+        ]
+        if spec.has_aisles:
+            # Interior shelving rows every ~10 m (the grocery's aisles).
+            num_aisles = int(depth // 10)
+            for aisle in range(1, num_aisles):
+                y = aisle * depth / num_aisles
+                surfaces.append(
+                    (np.array([width * 0.1, y]), np.array([1.0, 0.0]), width * 0.8)
+                )
+        return surfaces
+
+    @staticmethod
+    def _sample_on_surface(
+        surfaces: list[tuple[np.ndarray, np.ndarray, float]],
+        rng: np.random.Generator,
+        height: float,
+    ) -> np.ndarray:
+        index = int(rng.integers(0, len(surfaces)))
+        origin, direction, length = surfaces[index]
+        along = rng.uniform(0.0, length)
+        xy = origin + direction * along
+        z = rng.uniform(0.3, height - 0.3)
+        return np.array([xy[0], xy[1], z])
+
+    @property
+    def num_landmarks(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned (low, high) corners of the venue."""
+        low = np.array([0.0, 0.0, 0.0])
+        high = np.array([self.spec.width, self.spec.depth, self.spec.height])
+        return low, high
+
+    def landmarks_near(self, position: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of landmarks within ``radius`` meters of ``position``."""
+        deltas = self.positions - np.asarray(position, dtype=np.float64)
+        return np.flatnonzero((deltas**2).sum(axis=1) <= radius**2)

@@ -1,0 +1,389 @@
+"""Iterative closest point (ICP) drift correction.
+
+"We apply iterative closest point (ICP) heuristics to merge Tango 3D
+depth maps (from separate snapshots) into a single coherent point cloud
+for the entire indoor space" — undoing dead-reckoning drift so that
+truly-unique keypoints are not double-counted as repeats, and improving
+the 3D position estimates themselves.
+
+Design notes (why each piece exists):
+
+* **Point-to-plane** error metric.  Indoor depth maps are dominated by
+  large planar surfaces; point-to-point ICP leaves in-plane sliding
+  unconstrained and diverges on wall-only views.  Point-to-plane with
+  the small-angle linearization (Chen & Medioni) is the standard remedy
+  and converges in a handful of iterations.
+* **Anchor map**.  Tango poses are "relative to the start position", so
+  drift is smallest at session start.  The wardriving path begins with
+  an in-place 360-degree sweep; those early depth maps are fused into a
+  trusted *anchor* model of the venue shell that later snapshots align
+  against.  Aligning against an incrementally grown map instead lets
+  early alignment noise contaminate the reference and the correction
+  random-walks — measurably worse (see ``tests/test_icp.py``).
+* **Plausibility rejection**.  Dead-reckoning drift is bounded; a
+  correction with a large rotation or translation means ICP fell into a
+  wrong basin (e.g. box symmetry), so the snapshot keeps its reported
+  frame — the same conservative fallback a production system would use.
+
+:func:`icp_align` (classic point-to-point, Kabsch/SVD) is retained for
+generic rigid registration and the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = [
+    "IcpResult",
+    "icp_align",
+    "icp_point_to_plane",
+    "merge_snapshots",
+]
+
+
+@dataclass(frozen=True)
+class IcpResult:
+    """A rigid correction: ``aligned = points @ rotation.T + translation``."""
+
+    rotation: np.ndarray  # (3, 3)
+    translation: np.ndarray  # (3,)
+    rms_error: float
+    iterations: int
+    converged: bool
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        return np.asarray(points, dtype=np.float64) @ self.rotation.T + self.translation
+
+    @property
+    def rotation_angle(self) -> float:
+        """Magnitude of the rotation component, radians."""
+        return float(
+            np.arccos(np.clip((np.trace(self.rotation) - 1.0) / 2.0, -1.0, 1.0))
+        )
+
+    @classmethod
+    def identity(cls) -> "IcpResult":
+        return cls(
+            rotation=np.eye(3),
+            translation=np.zeros(3),
+            rms_error=np.inf,
+            iterations=0,
+            converged=False,
+        )
+
+
+def _kabsch(source: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Optimal rigid transform mapping source onto target (least squares)."""
+    source_center = source.mean(axis=0)
+    target_center = target.mean(axis=0)
+    covariance = (source - source_center).T @ (target - target_center)
+    u, _, vt = np.linalg.svd(covariance)
+    sign = np.sign(np.linalg.det(vt.T @ u.T))
+    correction = np.diag([1.0, 1.0, sign])
+    rotation = vt.T @ correction @ u.T
+    translation = target_center - rotation @ source_center
+    return rotation, translation
+
+
+def icp_align(
+    source: np.ndarray,
+    target: np.ndarray,
+    max_iterations: int = 30,
+    tolerance: float = 1e-5,
+    max_pair_distance: float = 1.5,
+) -> IcpResult:
+    """Point-to-point ICP aligning ``source`` onto ``target``.
+
+    Pairs farther than ``max_pair_distance`` are treated as outliers
+    (non-overlapping regions) and excluded each iteration.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if source.ndim != 2 or source.shape[1] != 3:
+        raise ValueError(f"source must be (n, 3), got {source.shape}")
+    if target.ndim != 2 or target.shape[1] != 3:
+        raise ValueError(f"target must be (n, 3), got {target.shape}")
+    if source.shape[0] < 3 or target.shape[0] < 3:
+        return IcpResult.identity()
+
+    tree = cKDTree(target)
+    rotation = np.eye(3)
+    translation = np.zeros(3)
+    moved = source.copy()
+    previous_error = np.inf
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iterations + 1):
+        distances, indices = tree.query(moved, k=1)
+        inliers = distances < max_pair_distance
+        if inliers.sum() < 3:
+            return IcpResult.identity()
+        step_rotation, step_translation = _kabsch(
+            moved[inliers], target[indices[inliers]]
+        )
+        moved = moved @ step_rotation.T + step_translation
+        rotation = step_rotation @ rotation
+        translation = step_rotation @ translation + step_translation
+        error = float(np.sqrt(np.mean(distances[inliers] ** 2)))
+        if abs(previous_error - error) < tolerance:
+            converged = True
+            break
+        previous_error = error
+
+    distances, _ = tree.query(moved, k=1)
+    inliers = distances < max_pair_distance
+    rms = float(np.sqrt(np.mean(distances[inliers] ** 2))) if inliers.any() else np.inf
+    return IcpResult(
+        rotation=rotation,
+        translation=translation,
+        rms_error=rms,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def _rotation_from_axis_angle(omega: np.ndarray) -> np.ndarray:
+    """Rodrigues rotation from an axis-angle vector."""
+    angle = float(np.linalg.norm(omega))
+    if angle < 1e-12:
+        return np.eye(3)
+    axis = omega / angle
+    skew = np.array(
+        [
+            [0.0, -axis[2], axis[1]],
+            [axis[2], 0.0, -axis[0]],
+            [-axis[1], axis[0], 0.0],
+        ]
+    )
+    return np.eye(3) + np.sin(angle) * skew + (1.0 - np.cos(angle)) * (skew @ skew)
+
+
+def icp_point_to_plane(
+    source: np.ndarray,
+    target_points: np.ndarray,
+    target_normals: np.ndarray,
+    target_tree: cKDTree | None = None,
+    max_iterations: int = 20,
+    max_pair_distance: float = 1.5,
+    tolerance: float = 1e-7,
+    damping: float = 0.05,
+) -> IcpResult:
+    """Point-to-plane ICP (Chen–Medioni small-angle linearization).
+
+    Minimizes ``sum(((R p + t - q) . n)^2)`` over rigid ``(R, t)``; each
+    iteration solves the linearized 6-DoF least squares in closed form.
+    ``target_normals`` must align row-wise with ``target_points``.
+
+    ``damping`` adds Tikhonov regularization to the per-iteration solve.
+    Indoor geometry is plane-dominated, so some rigid directions (e.g.
+    translation along a corridor) can be unobservable; damping keeps
+    those components at zero correction instead of letting them
+    random-walk on association noise.
+    """
+    source = np.asarray(source, dtype=np.float64)
+    target_points = np.asarray(target_points, dtype=np.float64)
+    target_normals = np.asarray(target_normals, dtype=np.float64)
+    if target_points.shape != target_normals.shape:
+        raise ValueError("target points and normals must align")
+    if source.shape[0] < 6 or target_points.shape[0] < 6:
+        return IcpResult.identity()
+
+    tree = target_tree if target_tree is not None else cKDTree(target_points)
+    rotation = np.eye(3)
+    translation = np.zeros(3)
+    moved = source.copy()
+    iterations = 0
+    converged = False
+    last_rms = np.inf
+    for iterations in range(1, max_iterations + 1):
+        distances, indices = tree.query(moved, k=1)
+        inliers = distances < max_pair_distance
+        if inliers.sum() < 6:
+            return IcpResult.identity()
+        points = moved[inliers]
+        matched = target_points[indices[inliers]]
+        normals = target_normals[indices[inliers]]
+        residuals = ((matched - points) * normals).sum(axis=1)
+        design = np.hstack([np.cross(points, normals), normals])
+        normal_matrix = design.T @ design
+        normal_matrix += damping * np.trace(normal_matrix) / 6.0 * np.eye(6)
+        solution = np.linalg.solve(normal_matrix, design.T @ residuals)
+        omega, shift = solution[:3], solution[3:]
+        step_rotation = _rotation_from_axis_angle(omega)
+        moved = moved @ step_rotation.T + shift
+        rotation = step_rotation @ rotation
+        translation = step_rotation @ translation + shift
+        last_rms = float(np.sqrt(np.mean(residuals**2)))
+        if np.linalg.norm(omega) < tolerance and np.linalg.norm(shift) < tolerance:
+            converged = True
+            break
+    return IcpResult(
+        rotation=rotation,
+        translation=translation,
+        rms_error=last_rms,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def fit_shell(
+    points: np.ndarray, normals: np.ndarray, min_support: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fit the venue's axis-aligned shell (6 planes) from a depth cloud.
+
+    For each axis, points whose normals align with that axis are split
+    at the cloud median and the two plane offsets are their medians —
+    robust to drift smear because plane points vastly outnumber tails.
+    Returns the fitted ``(low, high)`` corners.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    normals = np.asarray(normals, dtype=np.float64)
+    low = np.zeros(3)
+    high = np.zeros(3)
+    mid = np.median(points, axis=0)
+    for axis in range(3):
+        aligned = np.abs(normals[:, axis]) > 0.85
+        coords = points[aligned, axis]
+        if coords.size < 2 * min_support:
+            coords = points[:, axis]
+        low_side = coords[coords < mid[axis]]
+        high_side = coords[coords >= mid[axis]]
+        low[axis] = (
+            float(np.median(low_side)) if low_side.size >= min_support
+            else float(np.min(coords))
+        )
+        high[axis] = (
+            float(np.median(high_side)) if high_side.size >= min_support
+            else float(np.max(coords))
+        )
+    return low, high
+
+
+def shell_grid(
+    low: np.ndarray, high: np.ndarray, spacing: float = 0.4
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample an axis-aligned box shell as (points, inward normals)."""
+    low = np.asarray(low, dtype=np.float64)
+    high = np.asarray(high, dtype=np.float64)
+    if np.any(high <= low):
+        raise ValueError(f"degenerate shell {low} .. {high}")
+    xs = np.arange(low[0], high[0], spacing)
+    ys = np.arange(low[1], high[1], spacing)
+    zs = np.arange(low[2], high[2], spacing)
+    points: list[np.ndarray] = []
+    normals: list[np.ndarray] = []
+
+    grid_x, grid_z = np.meshgrid(xs, zs)
+    for y_value, normal in ((low[1], (0, 1, 0)), (high[1], (0, -1, 0))):
+        points.append(
+            np.column_stack(
+                [grid_x.ravel(), np.full(grid_x.size, y_value), grid_z.ravel()]
+            )
+        )
+        normals.append(np.tile(normal, (grid_x.size, 1)))
+    grid_y, grid_z = np.meshgrid(ys, zs)
+    for x_value, normal in ((low[0], (1, 0, 0)), (high[0], (-1, 0, 0))):
+        points.append(
+            np.column_stack(
+                [np.full(grid_y.size, x_value), grid_y.ravel(), grid_z.ravel()]
+            )
+        )
+        normals.append(np.tile(normal, (grid_y.size, 1)))
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    for z_value, normal in ((low[2], (0, 0, 1)), (high[2], (0, 0, -1))):
+        points.append(
+            np.column_stack(
+                [grid_x.ravel(), grid_y.ravel(), np.full(grid_x.size, z_value)]
+            )
+        )
+        normals.append(np.tile(normal, (grid_x.size, 1)))
+    return np.vstack(points), np.vstack(normals).astype(np.float64)
+
+
+def merge_snapshots(
+    snapshots: list,
+    max_pair_distance: float = 1.5,
+    refit_iterations: int = 2,
+    max_correction_rotation: float = np.deg2rad(12.0),
+    max_correction_translation: float = 6.0,
+) -> list[np.ndarray]:
+    """Drift-correct every snapshot's estimated keypoint positions.
+
+    Implements the paper's "merge Tango 3D depth maps ... into a single
+    coherent point cloud" as model-based registration:
+
+    1. Fit the venue shell (:func:`fit_shell`) from all snapshots' dense
+       depth clouds — robust to drift smear.
+    2. Point-to-plane align each snapshot's cloud against the shell;
+       apply the correction to that snapshot's keypoint estimates.
+    3. Re-fit the shell from corrected clouds and repeat (the cloud
+       "converges" over ``refit_iterations`` rounds).
+
+    Implausibly large corrections (wrong ICP basin, e.g. from box
+    symmetry) are rejected; those snapshots keep their reported frame.
+    """
+    if not snapshots:
+        return []
+    clouds = [s.dense_points for s in snapshots]
+    normal_sets = [s.dense_normals for s in snapshots]
+    usable = [c.shape[0] >= 6 for c in clouds]
+    if not any(usable):
+        return [s.world_estimates.copy() for s in snapshots]
+
+    corrections: list[tuple[np.ndarray, np.ndarray]] = [
+        (np.eye(3), np.zeros(3)) for _ in snapshots
+    ]
+    for _ in range(max(1, refit_iterations)):
+        moved_points = np.vstack(
+            [
+                cloud[::2] @ rotation.T + translation
+                for cloud, (rotation, translation), ok in zip(
+                    clouds, corrections, usable
+                )
+                if ok
+            ]
+        )
+        moved_normals = np.vstack(
+            [
+                normals[::2] @ rotation.T
+                for normals, (rotation, _), ok in zip(
+                    normal_sets, corrections, usable
+                )
+                if ok
+            ]
+        )
+        low, high = fit_shell(moved_points, moved_normals)
+        if np.any(high - low < 0.5):
+            break
+        shell_points, shell_normals = shell_grid(low, high)
+        tree = cKDTree(shell_points)
+        new_corrections: list[tuple[np.ndarray, np.ndarray]] = []
+        for cloud, ok in zip(clouds, usable):
+            if not ok:
+                new_corrections.append((np.eye(3), np.zeros(3)))
+                continue
+            result = icp_point_to_plane(
+                cloud,
+                shell_points,
+                shell_normals,
+                target_tree=tree,
+                max_pair_distance=max_pair_distance,
+            )
+            plausible = (
+                np.isfinite(result.rms_error)
+                and result.rotation_angle <= max_correction_rotation
+                and np.linalg.norm(result.translation) <= max_correction_translation
+            )
+            if plausible:
+                new_corrections.append((result.rotation, result.translation))
+            else:
+                new_corrections.append((np.eye(3), np.zeros(3)))
+        corrections = new_corrections
+
+    return [
+        snapshot.world_estimates @ rotation.T + translation
+        for snapshot, (rotation, translation) in zip(snapshots, corrections)
+    ]

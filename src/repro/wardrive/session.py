@@ -1,0 +1,141 @@
+"""Wardriving session orchestration.
+
+"To wardrive a venue, a user needs to walk throughout the indoor space"
+— the session walks a lawnmower path through the venue, captures
+snapshots, runs ICP drift correction, and emits the keypoint-to-3D
+mapping the cloud service ingests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.pose import Pose
+from repro.wardrive.environment import IndoorEnvironment
+from repro.wardrive.icp import merge_snapshots
+from repro.wardrive.tango import DriftModel, Snapshot, TangoRig
+
+__all__ = ["WardriveResult", "WardriveSession", "lawnmower_path"]
+
+
+def calibration_sweep(
+    environment: IndoorEnvironment,
+    num_views: int = 10,
+    eye_height: float = 1.5,
+) -> list[Pose]:
+    """An in-place 360-degree sweep near the venue center.
+
+    Tango poses are relative to the start position, so drift is smallest
+    at the beginning of a session; these first captures build the anchor
+    depth model that ICP corrections reference (see
+    :func:`repro.wardrive.merge_snapshots`).
+    """
+    spec = environment.spec
+    center_x, center_y = spec.width / 2.0, spec.depth / 2.0
+    return [
+        Pose(
+            x=center_x,
+            y=center_y,
+            z=eye_height,
+            yaw=2.0 * np.pi * view / num_views,
+        )
+        for view in range(num_views)
+    ]
+
+
+def lawnmower_path(
+    environment: IndoorEnvironment,
+    spacing: float = 5.0,
+    step: float = 1.5,
+    eye_height: float = 1.5,
+) -> list[Pose]:
+    """Back-and-forth walking poses covering the venue's floor plan.
+
+    The path starts with :func:`calibration_sweep`, then walks rows.  At
+    each waypoint the walker faces along the direction of travel —
+    matching how a human wardrives a corridor.  Alternating rows add a
+    half-turn of yaw so both wall sides get observed.
+    """
+    spec = environment.spec
+    margin = 2.0
+    poses: list[Pose] = calibration_sweep(environment, eye_height=eye_height)
+    ys = np.arange(margin, spec.depth - margin + 1e-9, spacing)
+    for row, y in enumerate(ys):
+        xs = np.arange(margin, spec.width - margin + 1e-9, step)
+        if row % 2 == 1:
+            xs = xs[::-1]
+        heading = 0.0 if row % 2 == 0 else np.pi
+        for x in xs:
+            poses.append(Pose(x=float(x), y=float(y), z=eye_height, yaw=heading))
+            # A quarter look to each side every few steps widens coverage.
+            if int(x / step) % 4 == 0:
+                poses.append(
+                    Pose(x=float(x), y=float(y), z=eye_height, yaw=heading + np.pi / 2)
+                )
+                poses.append(
+                    Pose(x=float(x), y=float(y), z=eye_height, yaw=heading - np.pi / 2)
+                )
+    return poses
+
+
+@dataclass
+class WardriveResult:
+    """The keypoint-to-3D mapping a session produces.
+
+    ``positions`` are ICP-corrected (or raw, when correction is off)
+    world estimates; ``true_positions`` the simulator's ground truth for
+    error accounting; ``landmark_ids`` ground-truth identity (evaluation
+    only — the real system never sees these).
+    """
+
+    descriptors: np.ndarray  # (n, 128)
+    positions: np.ndarray  # (n, 3)
+    true_positions: np.ndarray  # (n, 3)
+    landmark_ids: np.ndarray  # (n,)
+    snapshots: list[Snapshot]
+
+    @property
+    def num_mappings(self) -> int:
+        return int(self.descriptors.shape[0])
+
+    def position_errors(self) -> np.ndarray:
+        """Per-mapping 3D error of the stored positions (meters)."""
+        return np.linalg.norm(self.positions - self.true_positions, axis=1)
+
+
+class WardriveSession:
+    """Walk, capture, correct, and emit the mapping table."""
+
+    def __init__(
+        self,
+        environment: IndoorEnvironment,
+        seed: int = 0,
+        drift: DriftModel | None = None,
+        path: list[Pose] | None = None,
+    ) -> None:
+        self.environment = environment
+        self.rig = TangoRig(environment, seed=seed, drift=drift)
+        self.path = path if path is not None else lawnmower_path(environment)
+
+    def run(self, use_icp: bool = True) -> WardriveResult:
+        """Execute the walk and build the keypoint-to-3D mapping."""
+        snapshots = [self.rig.capture(pose) for pose in self.path]
+        snapshots = [s for s in snapshots if s.num_observations > 0]
+        if use_icp:
+            corrected = merge_snapshots(snapshots)
+        else:
+            corrected = [s.world_estimates for s in snapshots]
+
+        descriptors = np.vstack([s.descriptors for s in snapshots])
+        positions = np.vstack(corrected)
+        landmark_ids = np.concatenate([s.landmark_ids for s in snapshots])
+        true_positions = self.environment.positions[landmark_ids]
+        return WardriveResult(
+            descriptors=descriptors.astype(np.float32),
+            positions=positions,
+            true_positions=true_positions,
+            landmark_ids=landmark_ids,
+            snapshots=snapshots,
+        )

@@ -1,0 +1,224 @@
+"""The simulated Tango rig: drifting pose tracker + snapshot capture.
+
+Each snapshot carries what the real rig provides — the reported (drifted)
+6-DoF pose, the observed landmark pixels and descriptors from the RGB
+path, and per-keypoint IR depth — plus, for evaluation only, the ground
+truth the simulator knows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.camera import CameraIntrinsics, PinholeCamera
+from repro.geometry.pose import Pose
+from repro.util.rng import rng_for
+from repro.wardrive.environment import IndoorEnvironment
+
+__all__ = ["DriftModel", "Snapshot", "TangoRig"]
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Dead-reckoning error accumulation per captured snapshot.
+
+    Position drift is a random walk (meters per step); yaw drift a random
+    walk in radians.  ``scale`` multiplies both, giving the ICP ablation
+    a single knob from "perfect VSLAM" (0) to "heavy drift".
+    """
+
+    position_sigma: float = 0.035
+    yaw_sigma: float = 0.004
+    scale: float = 1.0
+
+    def step(
+        self, state: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Advance the drift state ``[dx, dy, dz, dyaw]`` one snapshot."""
+        step = np.array(
+            [
+                rng.normal(0.0, self.position_sigma),
+                rng.normal(0.0, self.position_sigma),
+                rng.normal(0.0, self.position_sigma * 0.3),  # z drifts less
+                rng.normal(0.0, self.yaw_sigma),
+            ]
+        )
+        return state + self.scale * step
+
+
+@dataclass
+class Snapshot:
+    """One wardriving capture.
+
+    ``world_estimates`` is what the pipeline actually uses downstream:
+    pixel+depth back-projected through the *reported* pose — i.e., 3D
+    positions contaminated by drift, which ICP later corrects.
+    """
+
+    index: int
+    reported_pose: Pose
+    true_pose: Pose
+    landmark_ids: np.ndarray  # (n,) ground-truth landmark indices (eval only)
+    pixels: np.ndarray  # (n, 2)
+    depths: np.ndarray  # (n,) measured optical-axis depth
+    descriptors: np.ndarray  # (n, 128)
+    world_estimates: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+    # Dense IR depth cloud + surface normals, back-projected through the
+    # reported pose (what ICP drift correction consumes).
+    dense_points: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+    dense_normals: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+
+    @property
+    def num_observations(self) -> int:
+        return int(self.pixels.shape[0])
+
+
+class TangoRig:
+    """Captures snapshots of an environment along a walking path."""
+
+    def __init__(
+        self,
+        environment: IndoorEnvironment,
+        seed: int = 0,
+        intrinsics: CameraIntrinsics | None = None,
+        depth_intrinsics: CameraIntrinsics | None = None,
+        drift: DriftModel | None = None,
+        max_range: float = 12.0,
+        depth_sensor_range: float = 25.0,
+        depth_resolution: tuple[int, int] = (24, 32),
+        pixel_noise_sigma: float = 0.7,
+        depth_noise_sigma: float = 0.015,
+        descriptor_noise_sigma: float = 3.0,
+        detection_probability: float = 0.9,
+    ) -> None:
+        self.environment = environment
+        self.intrinsics = intrinsics or CameraIntrinsics()
+        # The IR depth sensor is wider than the RGB camera (as on Tango),
+        # which keeps floor + ceiling + walls in view for ICP anchoring.
+        self.depth_intrinsics = depth_intrinsics or CameraIntrinsics(
+            width=640, height=480, fov_h=np.deg2rad(90.0), fov_v=np.deg2rad(70.0)
+        )
+        self.drift = drift or DriftModel()
+        self.max_range = float(max_range)
+        self.depth_sensor_range = float(depth_sensor_range)
+        self.depth_resolution = depth_resolution
+        self.pixel_noise_sigma = float(pixel_noise_sigma)
+        self.depth_noise_sigma = float(depth_noise_sigma)
+        self.descriptor_noise_sigma = float(descriptor_noise_sigma)
+        self.detection_probability = float(detection_probability)
+        self._rng = rng_for(seed, f"tango/{environment.spec.name}")
+        self._drift_state = np.zeros(4)
+        self._capture_count = 0
+
+    def _reported_pose(self, true_pose: Pose) -> Pose:
+        dx, dy, dz, dyaw = self._drift_state
+        return Pose(
+            x=true_pose.x + dx,
+            y=true_pose.y + dy,
+            z=true_pose.z + dz,
+            yaw=true_pose.yaw + dyaw,
+            pitch=true_pose.pitch,
+            roll=true_pose.roll,
+        )
+
+    def observe(self, true_pose: Pose) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Landmarks visible from ``true_pose``: (ids, pixels, true depths)."""
+        camera = PinholeCamera(self.intrinsics, true_pose)
+        nearby = self.environment.landmarks_near(true_pose.position, self.max_range)
+        if nearby.size == 0:
+            empty2 = np.empty((0, 2))
+            return np.empty(0, dtype=np.int64), empty2, np.empty(0)
+        points = self.environment.positions[nearby]
+        pixels, visible = camera.project(points)
+        detected = visible & (
+            self._rng.random(nearby.size) < self.detection_probability
+        )
+        ids = nearby[detected]
+        depths = camera.depth_of(points[detected])
+        return ids, pixels[detected], depths
+
+    def capture(self, true_pose: Pose) -> Snapshot:
+        """Take one drift-contaminated snapshot at ``true_pose``."""
+        self._drift_state = self.drift.step(self._drift_state, self._rng)
+        reported = self._reported_pose(true_pose)
+
+        ids, pixels, true_depths = self.observe(true_pose)
+        n = ids.size
+        pixels = pixels + self._rng.normal(0, self.pixel_noise_sigma, size=(n, 2))
+        depths = true_depths * self._rng.normal(
+            1.0, self.depth_noise_sigma, size=n
+        )
+        descriptors = self.environment.descriptors[ids] + self._rng.normal(
+            0, self.descriptor_noise_sigma, size=(n, 128)
+        )
+        descriptors = np.clip(descriptors, 0, 255).astype(np.float32)
+
+        # What the pipeline uses downstream: pixel+depth back-projected
+        # through the *reported* pose, i.e. drift-contaminated 3D.
+        reported_camera = PinholeCamera(self.intrinsics, reported)
+        world_estimates = reported_camera.back_project(pixels, depths)
+        dense_points, dense_normals = self._dense_depth_cloud(true_pose, reported)
+        snapshot = Snapshot(
+            index=self._capture_count,
+            reported_pose=reported,
+            true_pose=true_pose,
+            landmark_ids=ids,
+            pixels=pixels,
+            depths=depths,
+            descriptors=descriptors,
+            world_estimates=world_estimates,
+            dense_points=dense_points,
+            dense_normals=dense_normals,
+        )
+        self._capture_count += 1
+        return snapshot
+
+    def _dense_depth_cloud(
+        self, true_pose: Pose, reported_pose: Pose
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Render the IR depth map and lift it through the reported pose.
+
+        The sensor sees the true world (depth rendered from the true
+        pose); the rig trusts its tracker, so the cloud is back-projected
+        through the drifted pose.  Normals come from the depth image's
+        grid tangents; samples at depth discontinuities (where tangents
+        jump) are dropped because their normals are meaningless.
+        """
+        from repro.wardrive.depth import render_depth_map
+
+        rows, cols = self.depth_resolution
+        depth_map = render_depth_map(
+            true_pose,
+            self.depth_intrinsics,
+            self.environment.bounds,
+            resolution=self.depth_resolution,
+            noise_sigma=self.depth_noise_sigma * 0.7,
+            rng=self._rng,
+        )
+        px = (np.arange(cols) + 0.5) / cols * self.depth_intrinsics.width
+        py = (np.arange(rows) + 0.5) / rows * self.depth_intrinsics.height
+        grid_x, grid_y = np.meshgrid(px, py)
+        pixels = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+        depths = depth_map.ravel()
+        safe_depths = np.where(np.isfinite(depths), depths, 1.0)
+        camera = PinholeCamera(self.depth_intrinsics, reported_pose)
+        points = camera.back_project(pixels, safe_depths)
+
+        grid = points.reshape(rows, cols, 3)
+        tangent_u = np.gradient(grid, axis=1).reshape(-1, 3)
+        tangent_v = np.gradient(grid, axis=0).reshape(-1, 3)
+        normals = np.cross(tangent_u, tangent_v)
+        lengths = np.linalg.norm(normals, axis=1, keepdims=True)
+        smooth = (np.linalg.norm(tangent_u, axis=1) < 2.0) & (
+            np.linalg.norm(tangent_v, axis=1) < 2.0
+        )
+        valid = (
+            np.isfinite(depths)
+            & (depths < self.depth_sensor_range)
+            & (lengths.ravel() > 1e-9)
+            & smooth
+        )
+        normals = normals / np.maximum(lengths, 1e-12)
+        return points[valid], normals[valid]

@@ -1,0 +1,28 @@
+"""Shared fixtures: small deterministic inputs reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.synth import SceneLibrary
+from repro.util.rng import rng_for
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return rng_for(1234, "tests")
+
+
+@pytest.fixture(scope="session")
+def small_library() -> SceneLibrary:
+    """A tiny scene library shared by imaging/feature/matching tests."""
+    return SceneLibrary(seed=42, num_scenes=3, num_distractors=3, size=(128, 128))
+
+
+@pytest.fixture(scope="session")
+def descriptors_1k(rng: np.random.Generator) -> np.ndarray:
+    """1000 SIFT-like integer descriptors."""
+    from repro.wardrive.environment import random_sift_descriptor
+
+    return np.array([random_sift_descriptor(rng) for _ in range(1000)])

@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _EXPERIMENTS, _FAST_PARAMS, main
+
+
+class TestCli:
+    def test_experiment_registry_complete(self):
+        expected = {
+            "fig2", "fig3", "fig5", "fig6", "fig13", "fig14",
+            "fig15", "fig16", "fig18", "fig19", "fig20", "takeaways",
+            "latency",
+        }
+        assert set(_EXPERIMENTS) == expected
+
+    def test_fast_params_reference_real_experiments(self):
+        assert set(_FAST_PARAMS) <= set(_EXPERIMENTS)
+
+    def test_fig15_runs(self, capsys):
+        assert main(["fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 15" in out
+        assert "VisualPrint" in out
+
+    def test_fig18_runs(self, capsys):
+        assert main(["fig18"]) == 0
+        out = capsys.readouterr().out
+        assert "visualprint_full" in out
+
+    def test_fast_fig14(self, capsys):
+        assert main(["fig14", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_fingerprint_bytes" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,170 @@
+"""Unit + property tests for the RAW/PNG/JPEG/H264 codecs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codecs import H264Codec, JpegCodec, PngCodec, RawCodec
+from repro.codecs.jpegc import quality_to_quant_matrix
+from repro.imaging import to_uint8, value_noise_texture
+from repro.util.rng import rng_for
+
+
+@pytest.fixture(scope="module")
+def test_image():
+    return to_uint8(
+        value_noise_texture((64, 64), rng_for(3, "codecs"), octaves=5, base_cells=6)
+    )
+
+
+small_images = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.integers(min_value=8, max_value=24), st.integers(min_value=8, max_value=24)
+    ),
+    elements=st.integers(min_value=0, max_value=255),
+)
+
+
+class TestRaw:
+    def test_roundtrip_exact(self, test_image):
+        codec = RawCodec()
+        assert np.array_equal(codec.decode(codec.encode(test_image)), test_image)
+
+    def test_size_is_pixels_plus_header(self, test_image):
+        assert len(RawCodec().encode(test_image)) == test_image.size + 9
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError):
+            RawCodec().encode(np.zeros((4, 4), dtype=np.float32))
+
+    def test_bad_payload(self):
+        with pytest.raises(ValueError):
+            RawCodec().decode(b"X" + b"\x00" * 16)
+
+
+class TestPng:
+    def test_lossless(self, test_image):
+        codec = PngCodec()
+        assert np.array_equal(codec.decode(codec.encode(test_image)), test_image)
+
+    @given(small_images)
+    @settings(max_examples=25, deadline=None)
+    def test_lossless_property(self, image):
+        codec = PngCodec()
+        assert np.array_equal(codec.decode(codec.encode(image)), image)
+
+    def test_compresses_smooth_content(self):
+        smooth = np.tile(np.arange(64, dtype=np.uint8), (64, 1))
+        assert len(PngCodec().encode(smooth)) < smooth.size / 4
+
+    def test_smaller_than_raw_on_texture(self, test_image):
+        assert len(PngCodec().encode(test_image)) < len(RawCodec().encode(test_image))
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            PngCodec(level=10)
+
+
+class TestJpeg:
+    def test_roundtrip_close(self, test_image):
+        codec = JpegCodec(quality=80)
+        decoded = codec.decode(codec.encode(test_image))
+        psnr = 10 * np.log10(
+            255**2 / max(np.mean((decoded.astype(float) - test_image) ** 2), 1e-9)
+        )
+        assert psnr > 30
+
+    def test_lower_quality_smaller_payload(self, test_image):
+        high = len(JpegCodec(quality=90).encode(test_image))
+        low = len(JpegCodec(quality=10).encode(test_image))
+        assert low < high
+
+    def test_lower_quality_more_distortion(self, test_image):
+        def mse(quality):
+            codec = JpegCodec(quality=quality)
+            decoded = codec.decode(codec.encode(test_image))
+            return np.mean((decoded.astype(float) - test_image) ** 2)
+
+        assert mse(10) > mse(90)
+
+    def test_much_smaller_than_png(self, test_image):
+        assert len(JpegCodec(quality=30).encode(test_image)) < 0.5 * len(
+            PngCodec().encode(test_image)
+        )
+
+    def test_decode_foreign_quality(self, test_image):
+        payload = JpegCodec(quality=35).encode(test_image)
+        decoded = JpegCodec(quality=90).decode(payload)  # quality in header wins
+        assert decoded.shape == test_image.shape
+
+    def test_non_multiple_of_8_dims(self):
+        image = to_uint8(value_noise_texture((37, 51), rng_for(4, "odd")))
+        codec = JpegCodec(quality=70)
+        decoded = codec.decode(codec.encode(image))
+        assert decoded.shape == image.shape
+
+    def test_quant_matrix_monotone(self):
+        assert quality_to_quant_matrix(10).mean() > quality_to_quant_matrix(90).mean()
+
+    def test_quality_bounds(self):
+        with pytest.raises(ValueError):
+            quality_to_quant_matrix(0)
+
+
+class TestH264:
+    @pytest.fixture(scope="class")
+    def sequence(self):
+        base = to_uint8(
+            value_noise_texture((64, 64), rng_for(5, "video"), octaves=5, base_cells=6)
+        )
+        return [np.roll(base, 2 * i, axis=1) for i in range(8)]
+
+    def test_gop_structure(self, sequence):
+        encoded = H264Codec(gop=4).encode_sequence(sequence)
+        types = [frame.frame_type for frame in encoded]
+        assert types == ["I", "P", "P", "P", "I", "P", "P", "P"]
+
+    def test_p_frames_smaller_than_i(self, sequence):
+        encoded = H264Codec(gop=8).encode_sequence(sequence)
+        i_size = encoded[0].num_bytes
+        p_sizes = [frame.num_bytes for frame in encoded[1:]]
+        assert max(p_sizes) < i_size
+
+    def test_decode_tracks_encode(self, sequence):
+        codec = H264Codec(gop=8)
+        decoded = codec.decode_sequence(codec.encode_sequence(sequence))
+        assert len(decoded) == len(sequence)
+        for original, restored in zip(sequence, decoded):
+            mse = np.mean((restored.astype(float) - original) ** 2)
+            assert 10 * np.log10(255**2 / max(mse, 1e-9)) > 22
+
+    def test_mean_rate_below_jpeg_stills(self, sequence):
+        video_rate = H264Codec(i_quality=60, p_quality=35, gop=8).mean_bytes_per_frame(
+            sequence
+        )
+        still_rate = np.mean([len(JpegCodec(quality=60).encode(f)) for f in sequence])
+        assert video_rate < still_rate
+
+    def test_static_scene_compresses_further(self):
+        base = to_uint8(value_noise_texture((64, 64), rng_for(6, "static")))
+        static = [base.copy() for _ in range(6)]
+        moving = [np.roll(base, 3 * i, axis=0) for i in range(6)]
+        codec = H264Codec(gop=6)
+        assert codec.mean_bytes_per_frame(static) < codec.mean_bytes_per_frame(moving)
+
+    def test_p_before_i_rejected(self, sequence):
+        from repro.codecs.base import EncodedFrame
+
+        codec = H264Codec()
+        with pytest.raises(ValueError):
+            codec.decode_sequence([EncodedFrame(payload=b"", frame_type="P")])
+
+    def test_dims_must_be_macroblock_aligned(self):
+        frames = [np.zeros((30, 30), dtype=np.uint8)] * 2
+        with pytest.raises(ValueError):
+            H264Codec(gop=1000).encode_sequence(frames)  # second frame is P

@@ -1,0 +1,92 @@
+"""Unit tests for the power model and Monsoon-style traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy import PowerModel, PowerProfile, sample_trace
+
+
+class TestPowerModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return PowerModel()
+
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return PowerModel.figure18_profiles()
+
+    def test_display_plateau(self, model, profiles):
+        watts = model.average_power(profiles["display"])
+        assert 0.8 <= watts <= 1.6
+
+    def test_camera_plateau(self, model, profiles):
+        watts = model.average_power(profiles["camera"])
+        assert 3.0 <= watts <= 4.0  # paper: display+camera ~3.5 W
+
+    def test_full_pipeline_band(self, model, profiles):
+        watts = model.average_power(profiles["visualprint_full"])
+        assert 5.0 <= watts <= 8.0  # paper: ~6.5 W
+
+    def test_frame_upload_below_full(self, model, profiles):
+        frame = model.average_power(profiles["frame_upload"])
+        full = model.average_power(profiles["visualprint_full"])
+        assert frame < full  # paper: 4.9 W vs 6.5 W
+
+    def test_monotone_in_components(self, model, profiles):
+        ordering = ["display", "camera", "visualprint_upload", "visualprint_full"]
+        values = [model.average_power(profiles[name]) for name in ordering]
+        assert values == sorted(values)
+
+    def test_energy_joules(self, model, profiles):
+        profile = profiles["display"]
+        assert model.energy_joules(profile, 10.0) == pytest.approx(
+            10 * model.average_power(profile)
+        )
+
+    def test_duty_bounds(self):
+        with pytest.raises(ValueError):
+            PowerProfile(name="bad", radio_duty=1.5)
+
+
+class TestTrace:
+    def test_average_matches_model(self):
+        model = PowerModel()
+        profile = PowerModel.figure18_profiles()["visualprint_full"]
+        trace = sample_trace(
+            profile, 5.0, model=model, sample_rate_hz=2000.0, noise_sigma=0.0
+        )
+        assert trace.average_watts == pytest.approx(
+            model.average_power(profile), rel=0.05
+        )
+
+    def test_sample_count(self):
+        profile = PowerModel.figure18_profiles()["display"]
+        trace = sample_trace(profile, 2.0, sample_rate_hz=1000.0)
+        assert trace.watts.size == 2000
+        assert trace.duration_seconds == pytest.approx(2.0)
+
+    def test_per_second_average_length(self):
+        profile = PowerModel.figure18_profiles()["camera"]
+        trace = sample_trace(profile, 3.0, sample_rate_hz=500.0)
+        assert trace.per_second_average().size == 3
+
+    def test_compute_bursts_visible(self):
+        """Duty-cycled components create within-period structure."""
+        profile = PowerProfile(
+            name="burst", display=True, camera=True, compute_sift_duty=0.5
+        )
+        trace = sample_trace(
+            profile, 2.0, sample_rate_hz=1000.0, frame_rate_hz=10.0, noise_sigma=0.0
+        )
+        assert trace.watts.max() - trace.watts.min() > 1.0
+
+    def test_non_negative(self):
+        profile = PowerModel.figure18_profiles()["display"]
+        trace = sample_trace(profile, 1.0, sample_rate_hz=500.0, noise_sigma=2.0)
+        assert (trace.watts >= 0).all()
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            sample_trace(PowerModel.figure18_profiles()["display"], 0.0)

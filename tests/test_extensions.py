@@ -1,0 +1,182 @@
+"""Tests for the paper's extension features: blur gating, oracle diff
+updates, and binary (BRIEF) descriptors through the unmodified pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    UniquenessOracle,
+    VisualPrintClient,
+    VisualPrintConfig,
+    apply_delta,
+    choose_refresh_payload,
+    diff_counting_filters,
+)
+from repro.features import (
+    BlurDetector,
+    BriefDescriptor,
+    HammingMatcher,
+    HarrisDetector,
+    hamming_distance,
+    laplacian_variance,
+)
+from repro.imaging import motion_blur, value_noise_texture
+from repro.util.rng import rng_for
+
+
+@pytest.fixture(scope="module")
+def sharp_image():
+    return value_noise_texture(
+        (128, 128), rng_for(8, "blur"), octaves=6, base_cells=8, persistence=0.7
+    )
+
+
+class TestBlurDetection:
+    def test_blur_lowers_sharpness(self, sharp_image):
+        blurred = motion_blur(sharp_image, 9, 0.4)
+        assert laplacian_variance(blurred) < 0.5 * laplacian_variance(sharp_image)
+
+    def test_detector_separates(self, sharp_image):
+        detector = BlurDetector()
+        detector.calibrate([sharp_image])
+        assert not detector.is_blurred(sharp_image)
+        assert detector.is_blurred(motion_blur(sharp_image, 13, 1.0))
+
+    def test_calibrate_requires_frames(self):
+        with pytest.raises(ValueError):
+            BlurDetector().calibrate([])
+
+    def test_rejects_color(self):
+        with pytest.raises(ValueError):
+            laplacian_variance(np.zeros((4, 4, 3)))
+
+    def test_client_gate_counts_rejections(self, sharp_image):
+        config = VisualPrintConfig(descriptor_capacity=10_000, fingerprint_size=20)
+        oracle = UniquenessOracle(config)
+        detector = BlurDetector()
+        detector.calibrate([sharp_image])
+        client = VisualPrintClient(oracle, config, blur_detector=detector)
+        result = client.process_frame(motion_blur(sharp_image, 13, 0.2))
+        assert result is None
+        assert client.stats.frames_rejected_blur == 1
+        assert client.stats.bytes_uploaded == 0
+        assert client.process_frame(sharp_image) is not None
+
+
+class TestOracleDelta:
+    @pytest.fixture
+    def oracle_pair(self, descriptors_1k):
+        config = VisualPrintConfig(descriptor_capacity=20_000, seed=4)
+        old = UniquenessOracle(config)
+        old.insert(descriptors_1k[:500])
+        new = UniquenessOracle(config)
+        new.insert(descriptors_1k[:500])
+        new.insert(descriptors_1k[500:600])  # 100 new descriptors arrived
+        return old, new
+
+    def test_delta_roundtrip(self, oracle_pair):
+        old, new = oracle_pair
+        delta = diff_counting_filters(old.counting, new.counting)
+        apply_delta(old.counting, delta)
+        assert np.array_equal(old.counting.counters, new.counting.counters)
+
+    def test_delta_smaller_than_snapshot_for_small_growth(self, oracle_pair):
+        old, new = oracle_pair
+        delta = diff_counting_filters(old.counting, new.counting)
+        snapshot = new.snapshot()
+        assert delta.compressed_bytes < snapshot.compressed_bytes
+
+    def test_choose_refresh_prefers_delta(self, oracle_pair):
+        old, new = oracle_pair
+        kind, payload = choose_refresh_payload(old, new)
+        assert kind == "delta"
+        assert len(payload) > 0
+
+    def test_identical_versions_empty_delta(self, oracle_pair):
+        old, _ = oracle_pair
+        delta = diff_counting_filters(old.counting, old.counting)
+        assert delta.num_changes == 0
+
+    def test_geometry_mismatch_rejected(self, descriptors_1k):
+        a = UniquenessOracle(VisualPrintConfig(descriptor_capacity=10_000))
+        b = UniquenessOracle(VisualPrintConfig(descriptor_capacity=200_000))
+        with pytest.raises(ValueError):
+            diff_counting_filters(a.counting, b.counting)
+
+    def test_wrong_target_rejected(self, oracle_pair, descriptors_1k):
+        old, new = oracle_pair
+        delta = diff_counting_filters(old.counting, new.counting)
+        other = UniquenessOracle(
+            VisualPrintConfig(descriptor_capacity=200_000)
+        ).counting
+        with pytest.raises(ValueError):
+            apply_delta(other, delta)
+
+
+class TestBinaryDescriptors:
+    @pytest.fixture(scope="class")
+    def image_and_keypoints(self):
+        image = value_noise_texture(
+            (160, 160), rng_for(9, "brief"), octaves=6, base_cells=10, persistence=0.7
+        )
+        keypoints = HarrisDetector(max_keypoints=80).detect(image)
+        return image, keypoints
+
+    def test_descriptors_are_binary(self, image_and_keypoints):
+        image, keypoints = image_and_keypoints
+        described = BriefDescriptor().describe(image, keypoints)
+        values = np.unique(described.descriptors)
+        assert set(values.tolist()) <= {0.0, 255.0}
+        assert described.descriptors.shape == (len(keypoints), 128)
+
+    def test_deterministic(self, image_and_keypoints):
+        image, keypoints = image_and_keypoints
+        a = BriefDescriptor(seed=3).describe(image, keypoints)
+        b = BriefDescriptor(seed=3).describe(image, keypoints)
+        assert np.array_equal(a.descriptors, b.descriptors)
+
+    def test_hamming_self_distance_zero(self, image_and_keypoints):
+        image, keypoints = image_and_keypoints
+        described = BriefDescriptor().describe(image, keypoints)
+        distances = hamming_distance(
+            described.descriptors[:10], described.descriptors[:10]
+        )
+        assert np.array_equal(np.diag(distances), np.zeros(10))
+
+    def test_matcher_recovers_under_noise(self, image_and_keypoints):
+        image, keypoints = image_and_keypoints
+        described = BriefDescriptor().describe(image, keypoints)
+        rng = rng_for(10, "brief-noise")
+        noisy = described.descriptors.copy()
+        flip = rng.random(noisy.shape) < 0.03  # ~4 bit flips of 128
+        noisy[flip] = 255.0 - noisy[flip]
+        matcher = HammingMatcher(described.descriptors)
+        query_rows, database_rows = matcher.match(noisy, max_distance=20)
+        correct = (query_rows == database_rows).mean() if query_rows.size else 0
+        assert query_rows.size > 0.5 * len(keypoints)
+        assert correct > 0.9
+
+    def test_flows_through_unmodified_oracle(self, image_and_keypoints):
+        """The paper's claim: integer descriptors drop straight in."""
+        image, keypoints = image_and_keypoints
+        described = BriefDescriptor().describe(image, keypoints)
+        config = VisualPrintConfig(descriptor_capacity=10_000, fingerprint_size=10)
+        oracle = UniquenessOracle(config)
+        # Insert half the binary descriptors many times ("common"), the
+        # other half once ("unique").
+        half = len(described) // 2
+        for _ in range(20):
+            oracle.insert(described.descriptors[:half])
+        oracle.insert(described.descriptors[half:])
+        counts_common = oracle.counts(described.descriptors[:half])
+        counts_unique = oracle.counts(described.descriptors[half:])
+        assert np.median(counts_common) > np.median(counts_unique)
+
+    def test_empty_keypoints_passthrough(self, image_and_keypoints):
+        from repro.features import KeypointSet
+
+        image, _ = image_and_keypoints
+        empty = KeypointSet.empty()
+        assert BriefDescriptor().describe(image, empty) is empty

@@ -1,0 +1,221 @@
+"""Unit tests for keypoints, pyramids, SIFT, Harris, and serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    DogPyramid,
+    GaussianPyramid,
+    HarrisDetector,
+    KeypointSet,
+    SiftExtractor,
+    SiftParams,
+    deserialize_keypoints,
+    harris_response,
+    keypoint_record_bytes,
+    serialize_keypoints,
+)
+from repro.imaging import rotate_image, value_noise_texture
+from repro.util.rng import rng_for
+
+
+@pytest.fixture(scope="module")
+def textured_image():
+    return value_noise_texture(
+        (128, 128), rng_for(11, "features"), octaves=6, base_cells=8, persistence=0.7
+    )
+
+
+@pytest.fixture(scope="module")
+def keypoints(textured_image):
+    return SiftExtractor(SiftParams(contrast_threshold=0.01)).extract(textured_image)
+
+
+class TestKeypointSet:
+    def test_empty(self):
+        empty = KeypointSet.empty()
+        assert len(empty) == 0
+
+    def test_concatenate(self, keypoints):
+        doubled = KeypointSet.concatenate([keypoints, keypoints])
+        assert len(doubled) == 2 * len(keypoints)
+
+    def test_concatenate_empty_list(self):
+        assert len(KeypointSet.concatenate([])) == 0
+
+    def test_select(self, keypoints):
+        subset = keypoints.select(np.array([0, 2]))
+        assert len(subset) == 2
+        assert np.array_equal(subset.positions[1], keypoints.positions[2])
+
+    def test_top_by_response(self, keypoints):
+        top = keypoints.top_by_response(5)
+        assert len(top) == 5
+        assert top.responses.min() >= np.sort(keypoints.responses)[-5]
+
+    def test_top_by_response_larger_than_set(self, keypoints):
+        assert len(keypoints.top_by_response(10_000)) == len(keypoints)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            KeypointSet(
+                positions=np.zeros((3, 2), np.float32),
+                scales=np.zeros(2, np.float32),
+                orientations=np.zeros(3, np.float32),
+                responses=np.zeros(3, np.float32),
+                descriptors=np.zeros((3, 128), np.float32),
+            )
+
+
+class TestGaussianPyramid:
+    def test_octave_count_shrinks_with_image(self, textured_image):
+        pyramid = GaussianPyramid.build(textured_image)
+        assert pyramid.num_octaves >= 3
+        for octave in range(1, pyramid.num_octaves):
+            assert (
+                pyramid.octaves[octave].shape[1]
+                == pyramid.octaves[octave - 1].shape[1] // 2
+            )
+
+    def test_levels_per_octave(self, textured_image):
+        pyramid = GaussianPyramid.build(textured_image, scales_per_octave=3)
+        assert pyramid.octaves[0].shape[0] == 6  # s + 3
+
+    def test_blur_monotone(self, textured_image):
+        pyramid = GaussianPyramid.build(textured_image)
+        stds = [pyramid.octaves[0][level].std() for level in range(6)]
+        assert all(a >= b for a, b in zip(stds, stds[1:]))
+
+    def test_absolute_sigma_doubles_per_octave(self, textured_image):
+        pyramid = GaussianPyramid.build(textured_image)
+        assert pyramid.absolute_sigma(1, 0) == pytest.approx(
+            2 * pyramid.absolute_sigma(0, 0)
+        )
+
+    def test_dog_shapes(self, textured_image):
+        pyramid = GaussianPyramid.build(textured_image)
+        dog = DogPyramid.from_gaussian(pyramid)
+        assert dog.num_octaves == pyramid.num_octaves
+        assert dog.octaves[0].shape[0] == pyramid.octaves[0].shape[0] - 1
+
+    def test_rejects_color_image(self):
+        with pytest.raises(ValueError):
+            GaussianPyramid.build(np.zeros((8, 8, 3)))
+
+
+class TestSiftExtractor:
+    def test_finds_keypoints_on_texture(self, keypoints):
+        assert len(keypoints) > 30
+
+    def test_descriptor_range(self, keypoints):
+        assert keypoints.descriptors.min() >= 0
+        assert keypoints.descriptors.max() <= 255
+        # integer-valued by construction
+        assert np.allclose(keypoints.descriptors, np.rint(keypoints.descriptors))
+
+    def test_positions_inside_image(self, keypoints, textured_image):
+        height, width = textured_image.shape
+        assert (keypoints.positions[:, 0] >= 0).all()
+        assert (keypoints.positions[:, 0] < width).all()
+        assert (keypoints.positions[:, 1] < height).all()
+
+    def test_uniform_image_yields_nothing(self):
+        extractor = SiftExtractor()
+        assert len(extractor.extract(np.full((64, 64), 0.5, np.float32))) == 0
+
+    def test_deterministic(self, textured_image):
+        extractor = SiftExtractor(SiftParams(contrast_threshold=0.01))
+        a = extractor.extract(textured_image)
+        b = extractor.extract(textured_image)
+        assert np.array_equal(a.descriptors, b.descriptors)
+
+    def test_max_keypoints(self, textured_image):
+        extractor = SiftExtractor(
+            SiftParams(contrast_threshold=0.01, max_keypoints=10)
+        )
+        assert len(extractor.extract(textured_image)) <= 10
+
+    def test_contrast_threshold_monotone(self, textured_image):
+        loose = SiftExtractor(SiftParams(contrast_threshold=0.005))
+        strict = SiftExtractor(SiftParams(contrast_threshold=0.03))
+        assert len(loose.extract(textured_image)) >= len(
+            strict.extract(textured_image)
+        )
+
+    def test_rotation_invariance_of_matching(self, textured_image):
+        """Descriptors of a rotated image still match the original."""
+        extractor = SiftExtractor(SiftParams(contrast_threshold=0.01))
+        original = extractor.extract(textured_image)
+        rotated = extractor.extract(rotate_image(textured_image, np.deg2rad(25)))
+        if len(rotated) < 10 or len(original) < 10:
+            pytest.skip("not enough keypoints for a matching check")
+        distances = (
+            (rotated.descriptors[:, None, :] - original.descriptors[None, :, :]) ** 2
+        ).sum(-1)
+        ordered = np.sort(distances, axis=1)
+        ratio_pass = (ordered[:, 0] < 0.8**2 * ordered[:, 1]).mean()
+        assert ratio_pass > 0.2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SiftParams(descriptor_spatial_bins=5)  # 5*5*8 != 128
+        with pytest.raises(ValueError):
+            SiftParams(orientation_peak_ratio=0.0)
+
+    def test_rejects_color_input(self):
+        with pytest.raises(ValueError):
+            SiftExtractor().extract(np.zeros((8, 8, 3)))
+
+
+class TestHarris:
+    def test_response_peaks_at_corner(self):
+        image = np.zeros((64, 64), dtype=np.float32)
+        image[32:, 32:] = 1.0  # a single corner at (32, 32)
+        response = harris_response(image)
+        peak = np.unravel_index(np.argmax(response), response.shape)
+        assert abs(peak[0] - 32) <= 2 and abs(peak[1] - 32) <= 2
+
+    def test_edge_suppressed(self):
+        image = np.zeros((64, 64), dtype=np.float32)
+        image[:, 32:] = 1.0  # pure edge, no corner
+        response = harris_response(image)
+        assert response.max() < 1e-4
+
+    def test_detector_returns_descriptors(self, textured_image):
+        detected = HarrisDetector(max_keypoints=50).detect(textured_image)
+        assert 0 < len(detected) <= 50
+        assert detected.descriptors.shape[1] == 128
+
+    def test_detector_blank_image(self):
+        detected = HarrisDetector().detect(np.full((64, 64), 0.5, np.float32))
+        assert len(detected) == 0
+
+
+class TestSerialization:
+    def test_record_size(self):
+        assert keypoint_record_bytes() == 144
+
+    def test_roundtrip(self, keypoints):
+        payload = serialize_keypoints(keypoints)
+        restored = deserialize_keypoints(payload)
+        assert len(restored) == len(keypoints)
+        assert np.allclose(restored.positions, keypoints.positions, atol=1e-4)
+        assert np.allclose(restored.scales, keypoints.scales, atol=1e-4)
+        assert np.array_equal(
+            restored.descriptors, np.rint(keypoints.descriptors)
+        )
+
+    def test_compressed_roundtrip(self, keypoints):
+        payload = serialize_keypoints(keypoints, compress=True)
+        restored = deserialize_keypoints(payload)
+        assert len(restored) == len(keypoints)
+
+    def test_size_formula(self, keypoints):
+        payload = serialize_keypoints(keypoints)
+        assert len(payload) == 8 + len(keypoints) * keypoint_record_bytes()
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            deserialize_keypoints(b"ZZZZ" + b"\x00" * 16)

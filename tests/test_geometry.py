@@ -1,0 +1,148 @@
+"""Unit + property tests for poses, cameras, and the Fig. 11 angle math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    CameraIntrinsics,
+    PinholeCamera,
+    Pose,
+    angle_between_keypoints,
+    gamma_angle,
+    rotation_matrix,
+)
+
+angles = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+class TestPose:
+    def test_rotation_is_orthonormal(self):
+        rotation = rotation_matrix(0.4, -0.2, 0.1)
+        assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(rotation) == pytest.approx(1.0)
+
+    @given(angles, angles, angles)
+    @settings(max_examples=30)
+    def test_to_world_to_camera_roundtrip(self, yaw, pitch, roll):
+        pose = Pose(x=1.0, y=-2.0, z=0.5, yaw=yaw, pitch=pitch, roll=roll)
+        points = np.array([[1.0, 2.0, 3.0], [-1.0, 0.0, 4.0]])
+        restored = pose.to_camera(pose.to_world(points))
+        assert np.allclose(restored, points, atol=1e-9)
+
+    def test_identity_pose_passthrough(self):
+        points = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(Pose().to_world(points), points)
+
+    def test_yaw_rotates_forward_vector(self):
+        pose = Pose(yaw=np.pi / 2)
+        forward_world = pose.to_world(np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(forward_world, [[0.0, 1.0, 0.0]], atol=1e-12)
+
+    def test_translated_and_rotated(self):
+        pose = Pose().translated(1, 2, 3).rotated(0.5)
+        assert (pose.x, pose.y, pose.z) == (1, 2, 3)
+        assert pose.yaw == 0.5
+
+    def test_position_error(self):
+        assert Pose(x=3.0).position_error(Pose(y=4.0)) == pytest.approx(5.0)
+
+
+class TestCamera:
+    @pytest.fixture
+    def camera(self):
+        return PinholeCamera(CameraIntrinsics(), Pose(x=1.0, y=2.0, z=1.5, yaw=0.3))
+
+    def test_center_point_projects_to_center(self, camera):
+        forward = camera.pose.to_world(np.array([[5.0, 0.0, 0.0]]))
+        pixels, visible = camera.project(forward)
+        assert visible[0]
+        assert np.allclose(pixels[0], camera.intrinsics.center, atol=1e-6)
+
+    def test_behind_camera_invisible(self, camera):
+        behind = camera.pose.to_world(np.array([[-5.0, 0.0, 0.0]]))
+        _, visible = camera.project(behind)
+        assert not visible[0]
+
+    def test_project_backproject_roundtrip(self, camera, rng):
+        camera_points = np.column_stack(
+            [
+                rng.uniform(2, 10, 20),
+                rng.uniform(-1, 1, 20),
+                rng.uniform(-1, 1, 20),
+            ]
+        )
+        world = camera.pose.to_world(camera_points)
+        pixels, visible = camera.project(world)
+        depths = camera.depth_of(world)
+        restored = camera.back_project(pixels[visible], depths[visible])
+        assert np.allclose(restored, world[visible], atol=1e-6)
+
+    def test_focal_from_fov(self):
+        intrinsics = CameraIntrinsics(width=640, fov_h=np.pi / 2)
+        assert intrinsics.focal_x == pytest.approx(320.0)
+
+    def test_depth_of_nan_behind(self, camera):
+        behind = camera.pose.to_world(np.array([[-3.0, 0.0, 0.0]]))
+        assert np.isnan(camera.depth_of(behind)[0])
+
+    def test_backproject_alignment_check(self, camera):
+        with pytest.raises(ValueError):
+            camera.back_project(np.zeros((3, 2)), np.zeros(2))
+
+
+class TestAngles:
+    def test_gamma_zero_at_center(self):
+        assert gamma_angle(320.0, 320.0, np.deg2rad(60), 640) == pytest.approx(0.0)
+
+    def test_gamma_half_fov_at_edge(self):
+        fov = np.deg2rad(60)
+        assert gamma_angle(640.0, 320.0, fov, 640) == pytest.approx(fov / 2)
+
+    def test_gamma_symmetric(self):
+        fov = np.deg2rad(60)
+        assert gamma_angle(100.0, 320.0, fov, 640) == pytest.approx(
+            gamma_angle(540.0, 320.0, fov, 640)
+        )
+
+    def test_angle_between_opposite_sides_adds(self):
+        fov = np.deg2rad(60)
+        left = gamma_angle(100.0, 320.0, fov, 640)
+        right = gamma_angle(500.0, 320.0, fov, 640)
+        assert angle_between_keypoints(100.0, 500.0, 320.0, fov, 640) == pytest.approx(
+            left + right
+        )
+
+    def test_angle_between_same_side_subtracts(self):
+        fov = np.deg2rad(60)
+        a = gamma_angle(400.0, 320.0, fov, 640)
+        b = gamma_angle(500.0, 320.0, fov, 640)
+        assert angle_between_keypoints(400.0, 500.0, 320.0, fov, 640) == pytest.approx(
+            abs(a - b)
+        )
+
+    def test_consistency_with_3d_geometry(self):
+        """The Fig. 11 formula equals the true ray angle for on-axis pairs."""
+        intrinsics = CameraIntrinsics()
+        camera = PinholeCamera(intrinsics, Pose())
+        # Two points at the same height (y in image), different x.
+        world = np.array([[10.0, 1.5, 0.0], [10.0, -2.0, 0.0]])
+        pixels, visible = camera.project(world)
+        assert visible.all()
+        gamma = angle_between_keypoints(
+            pixels[0, 0],
+            pixels[1, 0],
+            intrinsics.center[0],
+            intrinsics.fov_h,
+            intrinsics.width,
+        )
+        rays = world / np.linalg.norm(world, axis=1, keepdims=True)
+        true_angle = np.arccos(np.clip(rays[0] @ rays[1], -1, 1))
+        assert gamma == pytest.approx(true_angle, abs=1e-6)
+
+    def test_invalid_fov(self):
+        with pytest.raises(ValueError):
+            gamma_angle(0.0, 0.0, 4.0, 640)

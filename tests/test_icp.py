@@ -1,0 +1,152 @@
+"""Unit tests for ICP registration and the drift-correction pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.wardrive import (
+    DriftModel,
+    IndoorEnvironment,
+    WardriveSession,
+    icp_align,
+    icp_point_to_plane,
+    merge_snapshots,
+)
+from repro.wardrive.icp import IcpResult, fit_shell, shell_grid
+
+
+def _box_cloud(rng, n=1500):
+    """Three orthogonal planes: a well-conditioned registration target."""
+    parts = [
+        np.column_stack([rng.uniform(0, 10, n), rng.uniform(0, 10, n), np.zeros(n)]),
+        np.column_stack([np.zeros(n), rng.uniform(0, 10, n), rng.uniform(0, 3, n)]),
+        np.column_stack([rng.uniform(0, 10, n), np.zeros(n), rng.uniform(0, 3, n)]),
+    ]
+    return np.vstack(parts)
+
+
+def _rigid(points, angle, translation):
+    c, s = np.cos(angle), np.sin(angle)
+    rotation = np.array([[c, -s, 0], [s, c, 0], [0, 0, 1.0]])
+    return points @ rotation.T + translation
+
+
+class TestIcpAlign:
+    def test_recovers_known_transform(self, rng):
+        cloud = _box_cloud(rng)
+        moved = _rigid(cloud, 0.05, np.array([0.3, -0.2, 0.1]))
+        result = icp_align(moved, cloud, max_pair_distance=1.0)
+        assert np.abs(result.apply(moved) - cloud).max() < 1e-6
+        assert result.converged
+
+    def test_identity_for_aligned_clouds(self, rng):
+        cloud = _box_cloud(rng)
+        result = icp_align(cloud, cloud)
+        assert result.rotation_angle < 1e-6
+        assert np.linalg.norm(result.translation) < 1e-6
+
+    def test_too_few_points(self):
+        result = icp_align(np.zeros((2, 3)), np.zeros((10, 3)))
+        assert not result.converged
+        assert np.isinf(result.rms_error)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            icp_align(np.zeros((5, 2)), np.zeros((5, 3)))
+
+    def test_result_identity_factory(self):
+        identity = IcpResult.identity()
+        points = np.ones((4, 3))
+        assert np.array_equal(identity.apply(points), points)
+
+
+class TestIcpPointToPlane:
+    def test_recovers_known_transform(self, rng):
+        cloud = _box_cloud(rng)
+        normals = np.vstack(
+            [
+                np.tile([0, 0, 1.0], (1500, 1)),
+                np.tile([1.0, 0, 0], (1500, 1)),
+                np.tile([0, 1.0, 0], (1500, 1)),
+            ]
+        )
+        moved = _rigid(cloud, 0.04, np.array([0.4, -0.3, 0.15]))
+        result = icp_point_to_plane(moved, cloud, normals, max_pair_distance=1.5)
+        residual = np.abs(result.apply(moved) - cloud).mean()
+        # Damping slows the final digits of convergence; what matters is
+        # that the recovered transform puts the cloud back on the planes.
+        assert residual < 0.05
+
+    def test_damping_limits_unconstrained_drift(self, rng):
+        """A single plane leaves two translation DoF free; damping keeps
+        the correction from wandering along them."""
+        n = 2000
+        plane = np.column_stack(
+            [rng.uniform(0, 10, n), rng.uniform(0, 10, n), np.zeros(n)]
+        )
+        normals = np.tile([0.0, 0.0, 1.0], (n, 1))
+        moved = plane + np.array([0.0, 0.0, 0.5])
+        result = icp_point_to_plane(moved, plane, normals, max_pair_distance=2.0)
+        # z is corrected; x/y stay put.
+        assert result.translation[2] == pytest.approx(-0.5, abs=0.05)
+        assert np.abs(result.translation[:2]).max() < 0.2
+
+    def test_misaligned_normals_rejected(self, rng):
+        cloud = _box_cloud(rng)
+        with pytest.raises(ValueError):
+            icp_point_to_plane(cloud, cloud, np.zeros((5, 3)))
+
+
+class TestShellFit:
+    def test_fits_box_extents(self, rng):
+        points, normals = shell_grid(np.zeros(3), np.array([20.0, 10.0, 3.0]), 0.5)
+        noisy = points + rng.normal(0, 0.02, points.shape)
+        low, high = fit_shell(noisy, normals)
+        assert np.allclose(low, 0.0, atol=0.2)
+        assert np.allclose(high, [20.0, 10.0, 3.0], atol=0.3)
+
+    def test_shell_grid_normals_inward(self):
+        points, normals = shell_grid(np.zeros(3), np.ones(3) * 4.0, 1.0)
+        center = np.full(3, 2.0)
+        # normals point toward the interior
+        toward_center = ((center - points) * normals).sum(axis=1)
+        assert (toward_center > 0).all()
+
+    def test_degenerate_shell_rejected(self):
+        with pytest.raises(ValueError):
+            shell_grid(np.zeros(3), np.zeros(3))
+
+
+class TestMergeSnapshots:
+    @pytest.fixture(scope="class")
+    def drifty_session(self):
+        environment = IndoorEnvironment.build("cafeteria", seed=6)
+        session = WardriveSession(
+            environment, seed=6, drift=DriftModel(scale=3.0)
+        )
+        snapshots = [session.rig.capture(pose) for pose in session.path[:60]]
+        snapshots = [s for s in snapshots if s.num_observations > 0]
+        return environment, snapshots
+
+    def test_reduces_heavy_drift(self, drifty_session):
+        environment, snapshots = drifty_session
+        corrected = merge_snapshots(snapshots)
+        raw_err, icp_err = [], []
+        for snapshot, positions in zip(snapshots, corrected):
+            truth = environment.positions[snapshot.landmark_ids]
+            raw_err.append(
+                np.linalg.norm(snapshot.world_estimates - truth, axis=1).mean()
+            )
+            icp_err.append(np.linalg.norm(positions - truth, axis=1).mean())
+        assert np.median(icp_err) <= np.median(raw_err) * 1.1
+
+    def test_output_alignment(self, drifty_session):
+        _, snapshots = drifty_session
+        corrected = merge_snapshots(snapshots)
+        assert len(corrected) == len(snapshots)
+        for snapshot, positions in zip(snapshots, corrected):
+            assert positions.shape == snapshot.world_estimates.shape
+
+    def test_empty_input(self):
+        assert merge_snapshots([]) == []

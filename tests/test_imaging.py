@@ -1,0 +1,176 @@
+"""Unit tests for the synthetic imaging substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging import (
+    brightness_contrast,
+    checkerboard,
+    fixture_stamp,
+    gaussian_noise,
+    motion_blur,
+    perspective_warp,
+    rotate_image,
+    to_float,
+    to_uint8,
+    value_noise_texture,
+    vignette,
+)
+from repro.imaging.synth import BuildingMotifs, SceneLibrary
+from repro.imaging.transform import affine_warp, homography_from_view_angle
+from repro.util.rng import rng_for
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        image = np.linspace(0, 1, 64, dtype=np.float32).reshape(8, 8)
+        assert np.allclose(to_float(to_uint8(image)), image, atol=1 / 255)
+
+    def test_uint8_clipping(self):
+        image = np.array([[-0.5, 1.5]])
+        u8 = to_uint8(image)
+        assert u8[0, 0] == 0 and u8[0, 1] == 255
+
+    def test_uint8_passthrough(self):
+        u8 = np.zeros((2, 2), dtype=np.uint8)
+        assert to_uint8(u8) is u8
+
+
+class TestTextures:
+    def test_value_noise_range(self, rng):
+        texture = value_noise_texture((64, 64), rng)
+        assert texture.min() >= 0 and texture.max() <= 1
+        assert texture.shape == (64, 64)
+
+    def test_value_noise_deterministic(self):
+        a = value_noise_texture((32, 32), rng_for(5, "t"))
+        b = value_noise_texture((32, 32), rng_for(5, "t"))
+        assert np.array_equal(a, b)
+
+    def test_value_noise_unique_per_seed(self):
+        a = value_noise_texture((32, 32), rng_for(5, "t"))
+        b = value_noise_texture((32, 32), rng_for(6, "t"))
+        assert not np.array_equal(a, b)
+
+    def test_checkerboard_period(self):
+        board = checkerboard((32, 32), tile=8)
+        assert board[0, 0] != board[0, 8]
+        assert board[0, 0] == board[0, 16]
+        assert board[0, 0] == board[8, 8]
+
+    def test_invalid_octaves(self, rng):
+        with pytest.raises(ValueError):
+            value_noise_texture((8, 8), rng, octaves=0)
+
+    @pytest.mark.parametrize("kind", ["knob", "vent", "plate", "switch"])
+    def test_fixture_kinds(self, kind, rng):
+        stamp = fixture_stamp(kind, 32, rng)
+        assert stamp.shape == (32, 32)
+        assert stamp.std() > 0.05  # has visible structure
+
+    def test_unknown_fixture(self, rng):
+        with pytest.raises(ValueError):
+            fixture_stamp("spaceship", 32, rng)
+
+
+class TestNoise:
+    def test_gaussian_noise_clips(self, rng):
+        noisy = gaussian_noise(np.full((16, 16), 0.99, np.float32), 0.3, rng)
+        assert noisy.max() <= 1.0
+
+    def test_brightness_contrast_identity(self):
+        image = np.random.default_rng(0).random((8, 8)).astype(np.float32)
+        assert np.allclose(brightness_contrast(image, 0.0, 1.0), image)
+
+    def test_motion_blur_preserves_mean(self, rng):
+        image = rng.random((32, 32)).astype(np.float32)
+        blurred = motion_blur(image, 7, 0.3)
+        assert abs(blurred.mean() - image.mean()) < 0.02
+        assert blurred.std() < image.std()  # blur reduces variance
+
+    def test_motion_blur_length_one_identity(self, rng):
+        image = rng.random((8, 8)).astype(np.float32)
+        assert np.array_equal(motion_blur(image, 1, 0.0), image)
+
+    def test_vignette_darkens_corners(self):
+        image = np.ones((33, 33), dtype=np.float32)
+        shaded = vignette(image, strength=0.5)
+        assert shaded[16, 16] > shaded[0, 0]
+
+
+class TestWarps:
+    def test_identity_homography(self, rng):
+        image = rng.random((32, 32)).astype(np.float32)
+        warped = perspective_warp(image, np.eye(3))
+        # Border pixels clamp by design; the interior is exact.
+        assert np.allclose(warped[:-1, :-1], image[:-1, :-1], atol=1e-4)
+
+    def test_rotation_roundtrip(self):
+        # Smooth content survives interpolate-rotate-interpolate; white
+        # noise would not (bilinear acts as a low-pass filter).
+        image = value_noise_texture((64, 64), rng_for(2, "rot"), octaves=3)
+        rotated = rotate_image(image, 0.3)
+        restored = rotate_image(rotated, -0.3)
+        center = slice(20, 44)
+        assert np.abs(restored[center, center] - image[center, center]).mean() < 0.03
+
+    def test_affine_translation(self):
+        image = np.zeros((16, 16), dtype=np.float32)
+        image[8, 8] = 1.0
+        shifted = affine_warp(image, np.eye(2), translation=(2.0, 0.0))
+        assert shifted[8, 10] > 0.9
+
+    def test_view_homography_keeps_center(self):
+        homography = homography_from_view_angle(128, 128, 0.4)
+        center = homography @ np.array([63.5, 63.5, 1.0])
+        center /= center[2]
+        assert np.allclose(center[:2], [63.5, 63.5], atol=1e-6)
+
+    def test_invalid_homography_shape(self, rng):
+        with pytest.raises(ValueError):
+            perspective_warp(rng.random((8, 8)), np.eye(2))
+
+
+class TestSceneLibrary:
+    def test_deterministic(self, small_library):
+        other = SceneLibrary(seed=42, num_scenes=3, num_distractors=3, size=(128, 128))
+        assert np.array_equal(small_library.scene(1), other.scene(1))
+
+    def test_scenes_differ(self, small_library):
+        assert not np.array_equal(small_library.scene(0), small_library.scene(1))
+
+    def test_views_differ_from_scene(self, small_library):
+        scene = small_library.scene(0)
+        view = small_library.query_view(0, 0)
+        assert not np.array_equal(scene, view)
+        assert view.shape == scene.shape
+
+    def test_index_bounds(self, small_library):
+        with pytest.raises(IndexError):
+            small_library.scene(99)
+        with pytest.raises(IndexError):
+            small_library.distractor(99)
+        with pytest.raises(IndexError):
+            small_library.query_view(0, 99)
+
+    def test_all_database_images_labels(self, small_library):
+        labels = [label for label, _ in small_library.all_database_images()]
+        assert labels == [0, 1, 2, -1, -1, -1]
+
+    def test_wallpaper_repeats_across_images(self, small_library):
+        """Distractor backgrounds share the building-wide motifs."""
+        motifs = small_library._motifs
+        tiled = motifs.tiled_wallpaper((128, 128))
+        assert tiled.shape == (128, 128)
+        # the wallpaper tile actually repeats
+        tile = motifs.wallpaper.shape[0]
+        if 2 * tile <= 128:
+            assert np.allclose(tiled[:tile, :tile], tiled[tile : 2 * tile, :tile])
+
+    def test_motifs_shared_between_scene_and_distractor(self):
+        motifs_a = BuildingMotifs.create(9)
+        motifs_b = BuildingMotifs.create(9)
+        for kind in motifs_a.stamps:
+            assert np.array_equal(motifs_a.stamps[kind], motifs_b.stamps[kind])

@@ -1,0 +1,143 @@
+"""Unit tests for clustering, the angular solver, and error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import CameraIntrinsics, PinholeCamera, Pose
+from repro.localization import (
+    AngularLocalizer,
+    LocalizationProblem,
+    dbscan_labels,
+    error_by_axis,
+    largest_cluster,
+    localization_errors,
+)
+
+
+class TestDbscan:
+    def test_two_clusters_found(self, rng):
+        a = rng.normal(0, 0.2, (30, 3))
+        b = rng.normal(10, 0.2, (20, 3))
+        labels = dbscan_labels(np.vstack([a, b]), eps=1.0, min_samples=4)
+        assert len(set(labels[labels >= 0])) == 2
+        assert len(set(labels[:30])) == 1
+
+    def test_noise_labeled_minus_one(self, rng):
+        cluster = rng.normal(0, 0.1, (20, 3))
+        outlier = np.array([[50.0, 50.0, 50.0]])
+        labels = dbscan_labels(np.vstack([cluster, outlier]), eps=1.0, min_samples=4)
+        assert labels[-1] == -1
+
+    def test_largest_cluster_picks_biggest(self, rng):
+        big = rng.normal(0, 0.2, (40, 3))
+        small = rng.normal(10, 0.2, (10, 3))
+        kept = largest_cluster(np.vstack([big, small]), eps=1.0, min_samples=4)
+        assert set(kept.tolist()) <= set(range(40))
+        assert kept.size >= 35
+
+    def test_all_noise_empty(self, rng):
+        scattered = rng.uniform(0, 100, (10, 3))
+        assert largest_cluster(scattered, eps=0.1, min_samples=4).size == 0
+
+    def test_empty_input(self):
+        assert dbscan_labels(np.empty((0, 3)), eps=1.0).size == 0
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            dbscan_labels(np.zeros((3, 3)), eps=0.0)
+
+
+def _make_problem(true_pose, num_points, rng, pixel_noise=0.5):
+    """Project known landmarks through a camera and build the problem."""
+    intrinsics = CameraIntrinsics()
+    camera = PinholeCamera(intrinsics, true_pose)
+    camera_points = np.column_stack(
+        [
+            rng.uniform(3, 9, num_points),
+            rng.uniform(-2, 2, num_points),
+            rng.uniform(-1, 1, num_points),
+        ]
+    )
+    world = camera.pose.to_world(camera_points)
+    pixels, visible = camera.project(world)
+    pixels = pixels[visible] + rng.normal(0, pixel_noise, (visible.sum(), 2))
+    return LocalizationProblem(
+        pixels=pixels,
+        world_points=world[visible],
+        intrinsics=intrinsics,
+        bounds_low=np.array([0.0, 0.0, 0.0]),
+        bounds_high=np.array([20.0, 20.0, 3.0]),
+    )
+
+
+class TestAngularLocalizer:
+    def test_recovers_camera_position(self, rng):
+        true_pose = Pose(x=8.0, y=6.0, z=1.5, yaw=0.7)
+        problem = _make_problem(true_pose, 25, rng)
+        solution = AngularLocalizer(seed=1).solve(problem)
+        assert solution.pose.position_error(true_pose) < 1.0
+
+    def test_recovers_orientation(self, rng):
+        true_pose = Pose(x=8.0, y=6.0, z=1.5, yaw=0.7)
+        problem = _make_problem(true_pose, 25, rng, pixel_noise=0.1)
+        solution = AngularLocalizer(seed=1).solve(problem)
+        assert abs(solution.pose.yaw - true_pose.yaw) < 0.15
+
+    def test_degrades_gracefully_with_noise(self, rng):
+        true_pose = Pose(x=10.0, y=10.0, z=1.5, yaw=-0.4)
+        quiet = AngularLocalizer(seed=2).solve(
+            _make_problem(true_pose, 25, rng, pixel_noise=0.1)
+        )
+        noisy = AngularLocalizer(seed=2).solve(
+            _make_problem(true_pose, 25, rng, pixel_noise=4.0)
+        )
+        assert quiet.residual <= noisy.residual + 0.05
+
+    def test_too_few_points_falls_back(self):
+        problem = LocalizationProblem(
+            pixels=np.zeros((2, 2)),
+            world_points=np.zeros((2, 3)),
+            intrinsics=CameraIntrinsics(),
+            bounds_low=np.zeros(3),
+            bounds_high=np.ones(3) * 10,
+        )
+        solution = AngularLocalizer().solve(problem)
+        assert not solution.converged
+        assert solution.pose.x == pytest.approx(5.0)
+
+    def test_pair_budget(self, rng):
+        problem = _make_problem(Pose(x=5, y=5, z=1.5), 30, rng)
+        solution = AngularLocalizer(max_pairs=40, seed=0).solve(problem)
+        assert solution.num_pairs <= 40
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            LocalizationProblem(
+                pixels=np.zeros((3, 2)),
+                world_points=np.zeros((4, 3)),
+                intrinsics=CameraIntrinsics(),
+                bounds_low=np.zeros(3),
+                bounds_high=np.ones(3),
+            )
+
+
+class TestMetrics:
+    def test_localization_errors(self):
+        estimated = [Pose(x=1.0), Pose(y=2.0)]
+        truth = [Pose(), Pose()]
+        errors = localization_errors(estimated, truth)
+        assert errors.tolist() == [1.0, 2.0]
+
+    def test_error_by_axis(self):
+        estimated = [Pose(x=1.0, z=0.5)]
+        truth = [Pose()]
+        axes = error_by_axis(estimated, truth)
+        assert axes["x"][0] == 1.0
+        assert axes["y"][0] == 0.0
+        assert axes["z"][0] == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            localization_errors([Pose()], [])

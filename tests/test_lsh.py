@@ -1,0 +1,172 @@
+"""Unit + property tests for E2LSH projections, buckets, multiprobe, index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh import (
+    E2LSHParams,
+    LshIndex,
+    QuantizedBuckets,
+    StableProjections,
+    perturbation_sets,
+)
+
+
+class TestE2LSHParams:
+    def test_paper_defaults(self):
+        params = E2LSHParams()
+        assert (params.num_tables, params.num_projections) == (10, 7)
+        assert params.quantization_width == 500.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            E2LSHParams(num_tables=0)
+
+
+class TestStableProjections:
+    def test_deterministic_from_seed(self, descriptors_1k):
+        a = StableProjections(E2LSHParams(), seed=5).quantize(descriptors_1k[:10])
+        b = StableProjections(E2LSHParams(), seed=5).quantize(descriptors_1k[:10])
+        assert np.array_equal(a, b)
+
+    def test_shapes(self, descriptors_1k):
+        projections = StableProjections(E2LSHParams(num_tables=4, num_projections=3))
+        buckets = projections.quantize(descriptors_1k[:20])
+        assert buckets.shape == (20, 4, 3)
+
+    def test_wrong_dimension_rejected(self):
+        projections = StableProjections(E2LSHParams())
+        with pytest.raises(ValueError):
+            projections.project(np.zeros((3, 64)))
+
+    def test_nearby_descriptors_share_buckets(self, descriptors_1k, rng):
+        """The locality property: small perturbations rarely change buckets."""
+        projections = StableProjections(E2LSHParams())
+        base = descriptors_1k[:100]
+        nearby = np.clip(base + rng.normal(0, 2, base.shape), 0, 255)
+        buckets_a = projections.quantize(base)
+        buckets_b = projections.quantize(nearby)
+        same_bucket = (buckets_a == buckets_b).all(axis=2)  # per (n, L)
+        assert same_bucket.mean() > 0.5
+
+    def test_distant_descriptors_rarely_collide(self, descriptors_1k):
+        projections = StableProjections(E2LSHParams())
+        buckets = projections.quantize(descriptors_1k[:200])
+        flat = buckets.reshape(200, -1)
+        distinct = {tuple(row) for row in flat}
+        assert len(distinct) > 190
+
+    def test_residuals_in_unit_interval(self, descriptors_1k):
+        projections = StableProjections(E2LSHParams())
+        buckets, residuals = projections.quantize_with_residuals(descriptors_1k[:30])
+        assert (residuals >= 0).all() and (residuals < 1).all()
+        reconstructed = np.floor(
+            projections.project(descriptors_1k[:30])
+            / projections.params.quantization_width
+        )
+        assert np.array_equal(buckets, reconstructed.astype(np.int64))
+
+
+class TestQuantizedBuckets:
+    def test_encoding_injective_on_sign(self):
+        buckets = QuantizedBuckets(np.array([[[-1, 0, 1]], [[1, 0, -1]]]))
+        a = buckets.table_vectors(0)
+        assert not np.array_equal(a[0], a[1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizedBuckets(np.full((1, 1, 1), 1 << 21))
+
+    def test_table_keys_collide_for_equal_vectors(self):
+        data = np.zeros((2, 2, 3), dtype=np.int64)
+        buckets = QuantizedBuckets(data)
+        keys = buckets.table_keys(0)
+        assert keys[0] == keys[1]
+
+    def test_perturbed_changes_one_coordinate(self):
+        data = np.zeros((1, 2, 3), dtype=np.int64)
+        buckets = QuantizedBuckets(data)
+        original = buckets.table_vectors(1)[0]
+        perturbed = buckets.perturbed(1, 2, +1)[0]
+        assert perturbed[2] == original[2] + 1
+        assert np.array_equal(perturbed[:2], original[:2])
+
+
+class TestMultiprobe:
+    def test_orders_by_boundary_distance(self):
+        residuals = np.array([0.05, 0.5, 0.95])
+        probes = perturbation_sets(residuals, max_probes=2)
+        # Closest boundaries: dim 0 toward -1 (0.05), dim 2 toward +1 (0.05).
+        assert set(probes) == {(0, -1), (2, +1)}
+
+    def test_max_probes_respected(self):
+        probes = perturbation_sets(np.array([0.1, 0.2]), max_probes=3)
+        assert len(probes) == 3
+
+    def test_zero_probes(self):
+        assert perturbation_sets(np.array([0.5]), 0) == []
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20)
+    def test_probe_count_bounded(self, m):
+        residuals = np.linspace(0.1, 0.9, m)
+        assert len(perturbation_sets(residuals, 2 * m + 5)) == 2 * m
+
+
+class TestLshIndex:
+    @pytest.fixture(scope="class")
+    def index(self, descriptors_1k):
+        idx = LshIndex(E2LSHParams(), seed=1)
+        idx.build(descriptors_1k, np.arange(1000))
+        return idx
+
+    def test_exact_self_query(self, index, descriptors_1k):
+        matches = index.query(descriptors_1k[42], num_neighbors=1)
+        assert matches and matches[0].item_id == 42
+        assert matches[0].distance == pytest.approx(0.0, abs=1e-5)
+
+    def test_noisy_query_recovers_neighbor(self, index, descriptors_1k, rng):
+        hits = 0
+        for row in range(50):
+            noisy = np.clip(descriptors_1k[row] + rng.normal(0, 2, 128), 0, 255)
+            matches = index.query(noisy, num_neighbors=1)
+            hits += bool(matches) and matches[0].item_id == row
+        assert hits >= 45  # multiprobe keeps recall high
+
+    def test_query_batch_matches_single(self, index, descriptors_1k):
+        batch = index.query_batch(descriptors_1k[:5], num_neighbors=2)
+        for row, single in enumerate(descriptors_1k[:5]):
+            assert [m.item_id for m in index.query(single, 2)] == [
+                m.item_id for m in batch[row]
+            ]
+
+    def test_memory_exceeds_descriptor_bytes(self, index, descriptors_1k):
+        # L-fold bucket replication: the Fig. 15 LSH overhead.
+        assert index.memory_bytes() > descriptors_1k.astype(np.float32).nbytes
+
+    def test_empty_index_raises(self, descriptors_1k):
+        with pytest.raises(RuntimeError):
+            LshIndex().query(descriptors_1k[0])
+
+    def test_mismatched_ids_rejected(self, descriptors_1k):
+        with pytest.raises(ValueError):
+            LshIndex().build(descriptors_1k, np.arange(5))
+
+    def test_bucket_cap_enforced(self, rng):
+        # 500 identical descriptors must not make buckets of size 500.
+        duplicated = np.tile(rng.integers(0, 255, 128).astype(np.float32), (500, 1))
+        idx = LshIndex(E2LSHParams(num_tables=2), max_bucket_size=32)
+        idx.build(duplicated, np.arange(500))
+        for table in idx._tables:
+            assert all(len(rows) <= 32 for rows in table.values())
+
+    def test_payload_ids_returned(self, descriptors_1k):
+        idx = LshIndex(E2LSHParams(num_tables=4), seed=2)
+        ids = np.arange(1000) * 7  # arbitrary payload ids
+        idx.build(descriptors_1k, ids)
+        matches = idx.query(descriptors_1k[10])
+        assert matches[0].item_id == 70

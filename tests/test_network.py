@@ -1,0 +1,123 @@
+"""Unit + property tests for the uplink model, FPS math, upload traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    CHANNEL_PRESETS,
+    UplinkChannel,
+    fps_curve,
+    simulate_stream,
+    sustainable_fps,
+)
+
+
+class TestChannel:
+    def test_serialization_time_linear(self):
+        channel = UplinkChannel("t", bandwidth_mbps=8.0, rtt_ms=0.001)
+        assert channel.serialization_seconds(2_000_000) == pytest.approx(
+            2 * channel.serialization_seconds(1_000_000)
+        )
+
+    def test_one_megabit_per_second(self):
+        channel = UplinkChannel("t", bandwidth_mbps=1.0)
+        assert channel.serialization_seconds(125_000) == pytest.approx(1.0)
+
+    def test_transfer_includes_rtt(self):
+        channel = UplinkChannel("t", bandwidth_mbps=100.0, rtt_ms=100.0)
+        assert channel.transfer_seconds(1) >= 0.05
+
+    def test_jitter_varies(self):
+        channel = UplinkChannel("t", bandwidth_mbps=8.0, jitter_sigma=0.5)
+        rng = np.random.default_rng(0)
+        samples = {channel.transfer_seconds(1000, rng) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_round_trip_adds_terms(self):
+        channel = UplinkChannel("t", bandwidth_mbps=8.0, jitter_sigma=0.0)
+        total = channel.round_trip_seconds(10_000, server_seconds=0.5)
+        assert total > 0.5
+
+    def test_presets_exist(self):
+        assert {"3g", "lte", "wifi"} <= set(CHANNEL_PRESETS)
+        assert CHANNEL_PRESETS["wifi"].bandwidth_mbps > CHANNEL_PRESETS["3g"].bandwidth_mbps
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            UplinkChannel("t", bandwidth_mbps=0.0)
+
+
+class TestFps:
+    def test_paper_png_example(self):
+        # ~523 KB lossless frame on 2 Mbps: well under 1 FPS.
+        assert sustainable_fps(2.0, 523 * 1024) < 0.5
+
+    def test_linear_in_bandwidth(self):
+        assert sustainable_fps(16.0, 10_000) == pytest.approx(
+            2 * sustainable_fps(8.0, 10_000)
+        )
+
+    def test_curve_matches_scalar(self):
+        bandwidths = np.array([1.0, 2.0, 4.0])
+        curve = fps_curve(bandwidths, 50_000)
+        for bandwidth, value in zip(bandwidths, curve):
+            assert value == pytest.approx(sustainable_fps(bandwidth, 50_000))
+
+    @given(
+        st.floats(min_value=0.1, max_value=100),
+        st.integers(min_value=100, max_value=10**7),
+    )
+    @settings(max_examples=30)
+    def test_positive(self, bandwidth, frame_bytes):
+        assert sustainable_fps(bandwidth, frame_bytes) > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sustainable_fps(0.0, 100)
+        with pytest.raises(ValueError):
+            fps_curve(np.array([-1.0]), 100)
+
+
+class TestUploadTrace:
+    def test_cumulative_monotone(self):
+        channel = UplinkChannel("t", bandwidth_mbps=8.0)
+        trace = simulate_stream("s", [10_000] * 50, channel, capture_fps=10.0)
+        times = np.linspace(0, 10, 30)
+        cumulative = trace.cumulative_at(times)
+        assert (np.diff(cumulative) >= 0).all()
+
+    def test_backlogged_frames_dropped(self):
+        # Frames far larger than the uplink can carry per period.
+        slow = UplinkChannel("slow", bandwidth_mbps=1.0)
+        trace = simulate_stream("s", [500_000] * 20, slow, capture_fps=10.0)
+        assert len(trace.events) < 20
+
+    def test_queueing_mode_keeps_all(self):
+        slow = UplinkChannel("slow", bandwidth_mbps=1.0)
+        trace = simulate_stream(
+            "s", [50_000] * 10, slow, capture_fps=10.0, drop_when_backlogged=False
+        )
+        assert len(trace.events) == 10
+        assert trace.total_bytes == 500_000
+
+    def test_small_payloads_all_sent(self):
+        fast = UplinkChannel("fast", bandwidth_mbps=30.0)
+        trace = simulate_stream("s", [30_000] * 20, fast, capture_fps=10.0)
+        assert len(trace.events) == 20
+
+    def test_visualprint_order_of_magnitude_cheaper(self):
+        """The Fig. 14 headline: fingerprints vs whole frames."""
+        channel = CHANNEL_PRESETS["wifi"]
+        frames = simulate_stream("frames", [500_000] * 100, channel, 10.0)
+        fingerprints = simulate_stream("vp", [40_000] * 100, channel, 10.0)
+        assert frames.total_bytes >= 5 * fingerprints.total_bytes
+
+    def test_empty_stream(self):
+        channel = CHANNEL_PRESETS["lte"]
+        trace = simulate_stream("s", [], channel)
+        assert trace.total_bytes == 0
+        assert trace.cumulative_at(np.array([1.0]))[0] == 0

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the contracts the system leans on: Bloom filters never
+produce false negatives, count estimates never underestimate, LSH bucket
+assignment is translation-consistent, serialization roundtrips are
+lossless, rigid transforms preserve distances, and voting never invents
+scenes that received no votes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bloom import BloomFilter, CountingBloomFilter
+from repro.features.keypoint import KeypointSet
+from repro.features.serialize import deserialize_keypoints, serialize_keypoints
+from repro.geometry.pose import Pose
+from repro.lsh.projections import E2LSHParams, StableProjections
+from repro.matching.schemes import vote_scene
+from repro.network import UplinkChannel
+
+vector_sets = arrays(
+    dtype=np.uint32,
+    shape=st.tuples(st.integers(1, 30), st.just(5)),
+    elements=st.integers(0, 10_000),
+)
+
+descriptors = arrays(
+    dtype=np.float32,
+    shape=st.tuples(st.integers(1, 10), st.just(128)),
+    elements=st.floats(0, 255, width=32),
+)
+
+
+class TestBloomInvariants:
+    @given(vector_sets)
+    @settings(max_examples=25, deadline=None)
+    def test_no_false_negatives(self, vectors):
+        bloom = BloomFilter(num_bits=1 << 12, num_hashes=4)
+        bloom.add(vectors)
+        assert bloom.contains(vectors).all()
+
+    @given(vector_sets, st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_count_never_underestimates(self, vectors, repeats):
+        cbf = CountingBloomFilter(num_counters=1 << 12, num_hashes=4)
+        for _ in range(repeats):
+            cbf.add(vectors)
+        # Each row inserted at least `repeats` times (more if duplicated
+        # within the batch), so the estimate is bounded below.
+        assert (cbf.count(vectors) >= repeats).all()
+
+    @given(vector_sets)
+    @settings(max_examples=20, deadline=None)
+    def test_counting_monotone_under_insertion(self, vectors):
+        cbf = CountingBloomFilter(num_counters=1 << 12, num_hashes=4)
+        cbf.add(vectors)
+        before = cbf.count(vectors)
+        cbf.add(vectors[:1])
+        after = cbf.count(vectors)
+        assert (after >= before).all()
+
+
+class TestLshInvariants:
+    @given(descriptors)
+    @settings(max_examples=20, deadline=None)
+    def test_quantization_deterministic(self, batch):
+        projections = StableProjections(E2LSHParams(num_tables=3), seed=1)
+        a = projections.quantize(batch)
+        b = projections.quantize(batch)
+        assert np.array_equal(a, b)
+
+    @given(descriptors, st.floats(min_value=-3, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_residuals_bounded(self, batch, shift):
+        projections = StableProjections(E2LSHParams(num_tables=2), seed=2)
+        shifted = np.clip(batch + shift, 0, 255)
+        _, residuals = projections.quantize_with_residuals(shifted)
+        assert (residuals >= 0).all() and (residuals < 1).all()
+
+
+class TestSerializationInvariants:
+    @given(
+        arrays(
+            dtype=np.float32,
+            shape=st.tuples(st.integers(0, 20), st.just(2)),
+            elements=st.floats(0, 1000, width=32),
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_keypoint_roundtrip_positions(self, positions):
+        n = positions.shape[0]
+        keypoints = KeypointSet(
+            positions=positions,
+            scales=np.ones(n, np.float32),
+            orientations=np.zeros(n, np.float32),
+            responses=np.zeros(n, np.float32),
+            descriptors=np.zeros((n, 128), np.float32),
+        )
+        restored = deserialize_keypoints(serialize_keypoints(keypoints))
+        assert np.allclose(restored.positions, positions, atol=1e-3)
+
+    @given(descriptors)
+    @settings(max_examples=15, deadline=None)
+    def test_descriptor_integerization_stable(self, batch):
+        n = batch.shape[0]
+        keypoints = KeypointSet(
+            positions=np.zeros((n, 2), np.float32),
+            scales=np.ones(n, np.float32),
+            orientations=np.zeros(n, np.float32),
+            responses=np.zeros(n, np.float32),
+            descriptors=np.rint(batch).astype(np.float32),
+        )
+        once = deserialize_keypoints(serialize_keypoints(keypoints))
+        twice = deserialize_keypoints(serialize_keypoints(once))
+        assert np.array_equal(once.descriptors, twice.descriptors)
+
+
+class TestGeometryInvariants:
+    @given(
+        st.floats(-3, 3), st.floats(-1.4, 1.4), st.floats(-3, 3),
+        st.floats(-10, 10), st.floats(-10, 10), st.floats(-10, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rigid_transform_preserves_distances(self, yaw, pitch, roll, x, y, z):
+        pose = Pose(x=x, y=y, z=z, yaw=yaw, pitch=pitch, roll=roll)
+        points = np.array([[0.0, 0, 0], [1, 2, 3], [-4, 5, -6]])
+        moved = pose.to_world(points)
+        original = np.linalg.norm(points[0] - points[1])
+        transformed = np.linalg.norm(moved[0] - moved[1])
+        assert transformed == np.float64(transformed)
+        assert abs(original - transformed) < 1e-9
+
+
+class TestVotingInvariants:
+    @given(
+        arrays(
+            dtype=np.int64,
+            shape=st.integers(0, 60),
+            elements=st.integers(-1, 10),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_predicted_scene_received_votes(self, labels):
+        outcome = vote_scene(labels, min_votes=3)
+        if outcome.predicted_scene != -1:
+            assert (labels == outcome.predicted_scene).sum() >= 3
+
+
+class TestChannelInvariants:
+    @given(
+        st.floats(min_value=0.1, max_value=100),
+        st.integers(min_value=0, max_value=10**8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_transfer_time_nonnegative_and_monotone(self, bandwidth, payload):
+        channel = UplinkChannel("t", bandwidth_mbps=bandwidth, jitter_sigma=0.0)
+        small = channel.transfer_seconds(payload)
+        larger = channel.transfer_seconds(payload + 1000)
+        assert small >= 0
+        assert larger >= small

@@ -1,0 +1,149 @@
+"""Behavioral tests of the SIFT implementation's invariance properties.
+
+These check the contracts VisualPrint relies on: descriptors survive the
+photometric and geometric perturbations that separate wardriving imagery
+from query imagery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.features import SiftExtractor, SiftParams
+from repro.imaging import (
+    brightness_contrast,
+    gaussian_noise,
+    rotate_image,
+    value_noise_texture,
+)
+from repro.util.rng import rng_for
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return SiftExtractor(SiftParams(contrast_threshold=0.01))
+
+
+@pytest.fixture(scope="module")
+def base_image():
+    return value_noise_texture(
+        (160, 160), rng_for(21, "invariance"), octaves=6, base_cells=10,
+        persistence=0.7,
+    )
+
+
+def _match_rate(a, b, ratio=0.8):
+    """Fraction of a's keypoints with a ratio-test match into b."""
+    if len(a) < 5 or len(b) < 5:
+        return 0.0
+    distances = (
+        (a.descriptors[:, None, :].astype(np.float64)
+         - b.descriptors[None, :, :].astype(np.float64)) ** 2
+    ).sum(-1)
+    ordered = np.sort(distances, axis=1)
+    return float((ordered[:, 0] < ratio**2 * ordered[:, 1]).mean())
+
+
+class TestPhotometricInvariance:
+    def test_brightness_shift(self, extractor, base_image):
+        original = extractor.extract(base_image)
+        shifted = extractor.extract(brightness_contrast(base_image, brightness=0.12))
+        assert _match_rate(shifted, original) > 0.5
+
+    def test_contrast_change(self, extractor, base_image):
+        original = extractor.extract(base_image)
+        stretched = extractor.extract(brightness_contrast(base_image, contrast=1.3))
+        assert _match_rate(stretched, original) > 0.5
+
+    def test_mild_noise(self, extractor, base_image):
+        original = extractor.extract(base_image)
+        noisy = extractor.extract(
+            gaussian_noise(base_image, 0.015, rng_for(22, "noise"))
+        )
+        assert _match_rate(noisy, original) > 0.4
+
+
+class TestGeometricInvariance:
+    @pytest.mark.parametrize("degrees", [10, 30, 60])
+    def test_in_plane_rotation(self, extractor, base_image, degrees):
+        original = extractor.extract(base_image)
+        rotated = extractor.extract(
+            rotate_image(base_image, np.deg2rad(degrees))
+        )
+        assert _match_rate(rotated, original) > 0.2
+
+    def test_scale_change(self, extractor, base_image):
+        original = extractor.extract(base_image)
+        scaled_image = ndimage.zoom(base_image, 0.7, order=1)
+        scaled = extractor.extract(scaled_image.astype(np.float32))
+        assert _match_rate(scaled, original) > 0.15
+
+    def test_descriptor_positions_track_rotation(self, extractor, base_image):
+        """Matched keypoints should map under the known rotation."""
+        angle = np.deg2rad(20)
+        original = extractor.extract(base_image)
+        rotated_image = rotate_image(base_image, angle)
+        rotated = extractor.extract(rotated_image)
+        if len(original) < 10 or len(rotated) < 10:
+            pytest.skip("not enough keypoints")
+        distances = (
+            (rotated.descriptors[:, None, :].astype(np.float64)
+             - original.descriptors[None, :, :].astype(np.float64)) ** 2
+        ).sum(-1)
+        nearest = distances.argmin(axis=1)
+        ordered = np.sort(distances, axis=1)
+        confident = ordered[:, 0] < 0.7**2 * ordered[:, 1]
+        if confident.sum() < 5:
+            pytest.skip("too few confident matches")
+        center = (base_image.shape[1] - 1) / 2.0
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        # rotate_image maps output <- input by the inverse; matched
+        # original positions should land on the rotated positions.
+        src = original.positions[nearest[confident]] - center
+        expected = np.column_stack(
+            [
+                cos_a * src[:, 0] - sin_a * src[:, 1],
+                sin_a * src[:, 0] + cos_a * src[:, 1],
+            ]
+        ) + center
+        observed = rotated.positions[confident]
+        median_error = float(
+            np.median(np.linalg.norm(expected - observed, axis=1))
+        )
+        assert median_error < 4.0  # pixels
+
+
+class TestDetectionQuality:
+    def test_blob_detected_at_right_scale(self, extractor):
+        """An isolated Gaussian blob yields a keypoint near its center
+        with a detection scale proportional to its size."""
+        image = np.full((96, 96), 0.4, dtype=np.float32)
+        ys, xs = np.mgrid[0:96, 0:96]
+        blob_sigma = 4.0
+        image += 0.5 * np.exp(
+            -((ys - 48.0) ** 2 + (xs - 48.0) ** 2) / (2 * blob_sigma**2)
+        ).astype(np.float32)
+        keypoints = extractor.extract(image)
+        assert len(keypoints) >= 1
+        distances = np.linalg.norm(keypoints.positions - [48, 48], axis=1)
+        nearest = distances.argmin()
+        assert distances[nearest] < 4.0
+        # DoG responds maximally at sigma ~ blob size / sqrt(2)
+        assert 1.0 < keypoints.scales[nearest] < 12.0
+
+    def test_multiple_blobs_all_found(self, extractor):
+        image = np.full((128, 128), 0.4, dtype=np.float32)
+        ys, xs = np.mgrid[0:128, 0:128]
+        centers = [(32, 32), (32, 96), (96, 32), (96, 96)]
+        for cy, cx in centers:
+            image += 0.45 * np.exp(
+                -((ys - cy) ** 2 + (xs - cx) ** 2) / (2 * 3.5**2)
+            ).astype(np.float32)
+        keypoints = extractor.extract(np.clip(image, 0, 1))
+        found = 0
+        for cy, cx in centers:
+            distances = np.linalg.norm(keypoints.positions - [cx, cy], axis=1)
+            found += bool((distances < 5.0).any())
+        assert found >= 3

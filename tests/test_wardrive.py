@@ -1,0 +1,199 @@
+"""Unit tests for environments, the Tango rig, depth rendering, sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import CameraIntrinsics, Pose
+from repro.wardrive import (
+    ENVIRONMENT_SPECS,
+    DriftModel,
+    IndoorEnvironment,
+    TangoRig,
+    WardriveSession,
+    calibration_sweep,
+    lawnmower_path,
+    random_sift_descriptor,
+    render_depth_map,
+)
+
+
+@pytest.fixture(scope="module")
+def office():
+    return IndoorEnvironment.build("office", seed=5)
+
+
+class TestDescriptors:
+    def test_sift_like_statistics(self, rng):
+        descriptor = random_sift_descriptor(rng)
+        assert descriptor.shape == (128,)
+        assert descriptor.min() >= 0 and descriptor.max() <= 255
+        assert (descriptor == 0).mean() > 0.2  # sparse
+
+    def test_distinct_draws(self, rng):
+        a = random_sift_descriptor(rng)
+        b = random_sift_descriptor(rng)
+        assert not np.array_equal(a, b)
+
+
+class TestEnvironment:
+    def test_specs_cover_paper_venues(self):
+        assert set(ENVIRONMENT_SPECS) == {"office", "cafeteria", "grocery"}
+        assert ENVIRONMENT_SPECS["grocery"].has_aisles
+
+    def test_landmark_counts(self, office):
+        spec = office.spec
+        expected = spec.num_unique + spec.num_repeated_motifs * spec.repeats_per_motif
+        assert office.num_landmarks == expected
+        assert office.is_unique.sum() == spec.num_unique
+
+    def test_landmarks_on_shell(self, office):
+        low, high = office.bounds
+        positions = office.positions
+        assert (positions >= low - 1e-9).all()
+        assert (positions <= high + 1e-9).all()
+        # wall landmarks: each point touches at least one wall plane
+        on_x = np.isclose(positions[:, 0], low[0]) | np.isclose(positions[:, 0], high[0])
+        on_y = np.isclose(positions[:, 1], low[1]) | np.isclose(positions[:, 1], high[1])
+        assert (on_x | on_y).mean() > 0.95
+
+    def test_repeated_motifs_share_descriptors(self, office):
+        repeated = office.descriptors[~office.is_unique]
+        # motif copies are tight clusters: nearest other repeated descriptor
+        # is far closer than for unique landmarks
+        sample = repeated[:50]
+        distances = np.linalg.norm(sample[:, None, :] - repeated[None, :, :], axis=2)
+        np.fill_diagonal(distances[:, :50], np.inf)
+        assert np.median(distances.min(axis=1)) < 80
+
+    def test_deterministic(self):
+        a = IndoorEnvironment.build("cafeteria", seed=9)
+        b = IndoorEnvironment.build("cafeteria", seed=9)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            IndoorEnvironment.build("spaceship")
+
+    def test_landmarks_near(self, office):
+        center = np.array([25.0, 10.0, 1.5])
+        nearby = office.landmarks_near(center, 8.0)
+        if nearby.size:
+            distances = np.linalg.norm(office.positions[nearby] - center, axis=1)
+            assert (distances <= 8.0).all()
+
+
+class TestDepth:
+    def test_depth_positive_and_bounded(self, office):
+        pose = Pose(x=10.0, y=10.0, z=1.5)
+        depth = render_depth_map(
+            pose, CameraIntrinsics(), office.bounds, noise_sigma=0.0
+        )
+        finite = depth[np.isfinite(depth)]
+        assert finite.min() > 0
+        assert finite.max() < 100.0
+
+    def test_depth_matches_wall_distance(self, office):
+        # Facing the -y wall from 4 m away: central pixel depth ~ 4 m.
+        pose = Pose(x=25.0, y=4.0, z=1.5, yaw=-np.pi / 2)
+        depth = render_depth_map(
+            pose, CameraIntrinsics(), office.bounds, resolution=(9, 9), noise_sigma=0.0
+        )
+        assert depth[4, 4] == pytest.approx(4.0, rel=0.02)
+
+    def test_noise_scales_with_range(self, office):
+        pose = Pose(x=25.0, y=10.0, z=1.5)
+        rng = np.random.default_rng(0)
+        noisy = render_depth_map(
+            pose, CameraIntrinsics(), office.bounds, noise_sigma=0.05, rng=rng
+        )
+        clean = render_depth_map(
+            pose, CameraIntrinsics(), office.bounds, noise_sigma=0.0
+        )
+        residual = np.abs(noisy - clean)
+        mask = np.isfinite(residual)
+        assert residual[mask].mean() > 0
+
+
+class TestTangoRig:
+    def test_capture_contents(self, office):
+        rig = TangoRig(office, seed=1)
+        snapshot = rig.capture(Pose(x=10.0, y=4.0, z=1.5, yaw=-np.pi / 2))
+        assert snapshot.num_observations > 0
+        assert snapshot.pixels.shape == (snapshot.num_observations, 2)
+        assert snapshot.descriptors.shape == (snapshot.num_observations, 128)
+        assert snapshot.dense_points.shape[0] > 100
+        assert snapshot.dense_normals.shape == snapshot.dense_points.shape
+
+    def test_normals_unit_length(self, office):
+        rig = TangoRig(office, seed=1)
+        snapshot = rig.capture(Pose(x=10.0, y=4.0, z=1.5, yaw=-np.pi / 2))
+        lengths = np.linalg.norm(snapshot.dense_normals, axis=1)
+        assert np.allclose(lengths, 1.0, atol=1e-6)
+
+    def test_drift_accumulates(self, office):
+        rig = TangoRig(office, seed=2, drift=DriftModel(scale=3.0))
+        pose = Pose(x=10.0, y=4.0, z=1.5, yaw=-np.pi / 2)
+        drifts = []
+        for _ in range(30):
+            snapshot = rig.capture(pose)
+            drifts.append(
+                np.linalg.norm(
+                    snapshot.reported_pose.position - snapshot.true_pose.position
+                )
+            )
+        assert np.mean(drifts[20:]) > np.mean(drifts[:5])
+
+    def test_zero_drift_scale(self, office):
+        rig = TangoRig(office, seed=2, drift=DriftModel(scale=0.0))
+        snapshot = rig.capture(Pose(x=10.0, y=4.0, z=1.5))
+        assert snapshot.reported_pose.position_error(snapshot.true_pose) == 0.0
+
+    def test_world_estimates_near_truth_without_drift(self, office):
+        rig = TangoRig(office, seed=3, drift=DriftModel(scale=0.0))
+        snapshot = rig.capture(Pose(x=10.0, y=4.0, z=1.5, yaw=-np.pi / 2))
+        truth = office.positions[snapshot.landmark_ids]
+        errors = np.linalg.norm(snapshot.world_estimates - truth, axis=1)
+        assert np.median(errors) < 0.3  # only pixel/depth noise remains
+
+
+class TestPaths:
+    def test_sweep_is_in_place(self, office):
+        sweep = calibration_sweep(office, num_views=8)
+        assert len(sweep) == 8
+        positions = {(pose.x, pose.y) for pose in sweep}
+        assert len(positions) == 1
+
+    def test_lawnmower_covers_venue(self, office):
+        path = lawnmower_path(office)
+        xs = [pose.x for pose in path]
+        ys = [pose.y for pose in path]
+        assert max(xs) - min(xs) > office.spec.width * 0.7
+        assert max(ys) - min(ys) > office.spec.depth * 0.5
+
+    def test_lawnmower_starts_with_sweep(self, office):
+        path = lawnmower_path(office)
+        sweep = calibration_sweep(office)
+        assert path[: len(sweep)] == sweep
+
+
+class TestSession:
+    def test_mapping_alignment(self, office):
+        session = WardriveSession(
+            office, seed=4, path=lawnmower_path(office, spacing=10.0, step=4.0)
+        )
+        result = session.run(use_icp=False)
+        assert result.descriptors.shape[0] == result.positions.shape[0]
+        assert result.positions.shape[1] == 3
+        assert result.num_mappings > 100
+
+    def test_errors_reported(self, office):
+        session = WardriveSession(
+            office,
+            seed=4,
+            drift=DriftModel(scale=0.0),
+            path=lawnmower_path(office, spacing=10.0, step=4.0),
+        )
+        result = session.run(use_icp=False)
+        assert np.median(result.position_errors()) < 0.3
