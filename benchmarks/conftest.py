@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs import MetricsRegistry, use_registry
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -25,3 +27,16 @@ def pytest_addoption(parser):
 @pytest.fixture(scope="session")
 def full_scale(request) -> bool:
     return request.config.getoption("--full-scale")
+
+
+@pytest.fixture(autouse=True)
+def metrics_registry():
+    """Fresh contextual registry per benchmark.
+
+    Components a benchmark constructs report into this registry (see
+    :func:`repro.obs.use_registry`), keeping runs isolated from each
+    other and giving benchmark bodies a registry to assert against.
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        yield registry

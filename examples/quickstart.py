@@ -43,10 +43,8 @@ def main() -> None:
     query_image = library.query_view(2, view_index=1)
     fingerprint = client.process_frame(query_image)
     frame_bytes = len(PngCodec().encode(to_uint8(query_image)))
-    print(
-        f"query: {client.stats.keypoints_extracted} keypoints extracted, "
-        f"{len(fingerprint)} uploaded"
-    )
+    extracted = int(client.metrics.counter("client_keypoints_extracted_total").value)
+    print(f"query: {extracted} keypoints extracted, {len(fingerprint)} uploaded")
     print(
         f"upload: fingerprint {fingerprint.upload_bytes / 1024:.1f} KB vs "
         f"lossless frame {frame_bytes / 1024:.1f} KB "
@@ -59,6 +57,21 @@ def main() -> None:
     outcome = vote_scene(database.labels[matched_rows], min_votes=5)
     print(f"predicted scene: {outcome.predicted_scene} (truth: 2)")
     print(f"votes: {outcome.votes}")
+
+    # 5. Everything above was measured as it ran: dump the client's
+    #    observability snapshot (repro.obs) — per-stage latency
+    #    histograms, keypoint/byte counters, span timings.
+    print("\nmetrics snapshot (client registry):")
+    snapshot = client.metrics.to_dict()
+    for name, entry in snapshot["counters"].items():
+        print(f"  {name}: {entry['value']:.0f}")
+    for name, entry in snapshot["histograms"].items():
+        print(
+            f"  {name}: n={entry['count']} p50={entry['p50']:.4g} "
+            f"p90={entry['p90']:.4g}"
+        )
+    quantiles = client.latency_quantiles("sift")
+    print(f"  sift p50/p90: {quantiles[0.5] * 1e3:.1f} / {quantiles[0.9] * 1e3:.1f} ms")
 
 
 if __name__ == "__main__":

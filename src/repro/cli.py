@@ -2,12 +2,20 @@
 
 Runs one paper-figure driver (or all of them) and prints the series the
 paper reports.  ``--fast`` shrinks workloads for a quick look.
+
+Every experiment runs inside a :func:`repro.obs.use_registry` scope, so
+clients, oracles, servers, and the channel model all report into one
+:class:`repro.obs.MetricsRegistry`.  ``--metrics-json PATH`` writes the
+snapshot as JSON (and prints a compact metrics summary);
+``--metrics-prom PATH`` writes the Prometheus text rendering.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from repro.obs import MetricsRegistry, use_registry
 
 from repro.evaluation.experiments import (
     fig2_fps,
@@ -86,6 +94,28 @@ def _print_summary(result: object, indent: str = "  ") -> None:
             print(f"{indent}{key}: {value}")
 
 
+def _print_metrics_summary(registry: MetricsRegistry) -> None:
+    """Compact per-instrument rendering of a run's metrics registry."""
+    print("=== metrics " + "=" * 49)
+    for instrument in registry.instruments():
+        label = instrument.name
+        if instrument.labels:
+            label += (
+                "{"
+                + ",".join(f"{k}={v}" for k, v in sorted(instrument.labels.items()))
+                + "}"
+            )
+        if instrument.kind == "histogram":
+            quantiles = instrument.quantiles((0.5, 0.9))
+            print(
+                f"  {label}: n={instrument.count} "
+                f"p50={quantiles[0.5]:.4g} p90={quantiles[0.9]:.4g} "
+                f"sum={instrument.sum:.4g}"
+            )
+        else:
+            print(f"  {label}: {instrument.value:.6g}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -101,18 +131,43 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="shrink workloads for a quick (less faithful) run",
     )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics registry to PATH as JSON "
+        "and print a metrics summary",
+    )
+    parser.add_argument(
+        "--metrics-prom",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics registry to PATH in Prometheus text format",
+    )
     args = parser.parse_args(argv)
 
+    registry = MetricsRegistry()
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        module = _EXPERIMENTS[name]
-        print(f"=== {name} " + "=" * max(1, 60 - len(name)))
-        if args.fast and name in _FAST_PARAMS:
-            result = module.run(**_FAST_PARAMS[name])
-            _print_summary(result)
-        else:
-            module.main()
-        print()
+    with use_registry(registry):
+        for name in names:
+            module = _EXPERIMENTS[name]
+            print(f"=== {name} " + "=" * max(1, 60 - len(name)))
+            if args.fast and name in _FAST_PARAMS:
+                result = module.run(**_FAST_PARAMS[name])
+                _print_summary(result)
+            else:
+                module.main()
+            print()
+
+    if args.metrics_json or args.metrics_prom:
+        _print_metrics_summary(registry)
+    if args.metrics_json:
+        registry.write_json(args.metrics_json)
+        print(f"metrics JSON written to {args.metrics_json}")
+    if args.metrics_prom:
+        with open(args.metrics_prom, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_prometheus())
+        print(f"metrics Prometheus text written to {args.metrics_prom}")
     return 0
 
 

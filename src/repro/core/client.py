@@ -2,13 +2,22 @@
 
 Per frame: extract SIFT keypoints, query the downloaded uniqueness
 oracle for every descriptor (constant time each), rank, keep the top-k,
-serialize.  The client also keeps the running statistics the paper's
-client-overhead figures report (per-stage latency, cumulative upload).
+serialize.  The client reports everything the paper's client-overhead
+figures (Figs. 14 and 16) need into a :class:`repro.obs.MetricsRegistry`:
+per-stage latency histograms (``client_sift_seconds``,
+``client_oracle_seconds``, ``client_serialize_seconds``),
+frame/keypoint/byte counters, and a blur-rejection counter — plus
+nested per-frame :class:`repro.obs.Span` traces via ``client.tracer``.
+
+The legacy ``client.stats`` (:class:`ClientStats`) and
+``client.median_latency`` APIs survive as thin deprecated views over
+the registry; new code should use ``client.metrics`` and
+``client.latency_quantiles``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
 import numpy as np
 
@@ -17,22 +26,84 @@ from repro.core.fingerprint import Fingerprint
 from repro.core.oracle import UniquenessOracle
 from repro.features.keypoint import KeypointSet
 from repro.features.sift import SiftExtractor, SiftParams
-from repro.util.timing import Stopwatch
+from repro.obs import (
+    DEFAULT_BYTE_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    resolve_registry,
+)
 
 __all__ = ["ClientStats", "VisualPrintClient"]
 
+#: Stages with a per-frame latency histogram (``client_<stage>_seconds``).
+_STAGES = ("sift", "oracle", "serialize")
 
-@dataclass
+
+def _deprecated(message: str) -> None:
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
 class ClientStats:
-    """Running client-side accounting (Figs. 14 and 16)."""
+    """Deprecated read-only view over a client's metrics registry.
 
-    frames_processed: int = 0
-    frames_rejected_blur: int = 0
-    keypoints_extracted: int = 0
-    keypoints_uploaded: int = 0
-    bytes_uploaded: int = 0
-    sift_seconds: list[float] = field(default_factory=list)
-    oracle_seconds: list[float] = field(default_factory=list)
+    Kept so pre-``repro.obs`` callers (``client.stats.bytes_uploaded``,
+    ``client.stats.sift_seconds``) keep working; every attribute emits a
+    :class:`DeprecationWarning` pointing at the replacement.  Latency
+    lists are reservoir snapshots — exact until ~1k frames, a uniform
+    subsample after.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+
+    def _counter_value(self, name: str, replacement: str) -> int:
+        _deprecated(
+            f"ClientStats.{replacement} is deprecated; read "
+            f"client.metrics.counter({name!r}).value instead"
+        )
+        return int(self._registry.counter(name).value)
+
+    @property
+    def frames_processed(self) -> int:
+        return self._counter_value("client_frames_total", "frames_processed")
+
+    @property
+    def frames_rejected_blur(self) -> int:
+        return self._counter_value(
+            "client_frames_rejected_blur_total", "frames_rejected_blur"
+        )
+
+    @property
+    def keypoints_extracted(self) -> int:
+        return self._counter_value(
+            "client_keypoints_extracted_total", "keypoints_extracted"
+        )
+
+    @property
+    def keypoints_uploaded(self) -> int:
+        return self._counter_value(
+            "client_keypoints_uploaded_total", "keypoints_uploaded"
+        )
+
+    @property
+    def bytes_uploaded(self) -> int:
+        return self._counter_value("client_upload_bytes_total", "bytes_uploaded")
+
+    def _stage_samples(self, stage: str) -> list[float]:
+        _deprecated(
+            f"ClientStats.{stage}_seconds is deprecated; read "
+            f"client.metrics.histogram('client_{stage}_seconds').values() "
+            "or client.latency_quantiles(stage) instead"
+        )
+        return self._registry.histogram(f"client_{stage}_seconds").values()
+
+    @property
+    def sift_seconds(self) -> list[float]:
+        return self._stage_samples("sift")
+
+    @property
+    def oracle_seconds(self) -> list[float]:
+        return self._stage_samples("oracle")
 
 
 class VisualPrintClient:
@@ -44,6 +115,7 @@ class VisualPrintClient:
         config: VisualPrintConfig | None = None,
         sift_params: SiftParams | None = None,
         blur_detector: "BlurDetector | None" = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.oracle = oracle
         self.config = config or oracle.config
@@ -53,14 +125,92 @@ class VisualPrintClient:
         # Optional frame gate: "performs a quick check on each frame to
         # detect blur ... discarding such frames" (paper, client app).
         self.blur_detector = blur_detector
-        self.stats = ClientStats()
-        self._watch = Stopwatch()
+        self._registry = resolve_registry(registry)
+        self.tracer = Tracer(self._registry)
+        self._stats_view: ClientStats | None = None
+        self._m_stage_seconds = {
+            stage: self._registry.histogram(
+                f"client_{stage}_seconds",
+                help=f"per-frame wall-clock of the client {stage} stage",
+            )
+            for stage in _STAGES
+        }
+        self._m_frames = self._registry.counter(
+            "client_frames_total", help="frames fully processed"
+        )
+        self._m_frames_blur = self._registry.counter(
+            "client_frames_rejected_blur_total", help="frames dropped by the blur gate"
+        )
+        self._m_keypoints_extracted = self._registry.counter(
+            "client_keypoints_extracted_total", help="keypoints out of SIFT"
+        )
+        self._m_keypoints_uploaded = self._registry.counter(
+            "client_keypoints_uploaded_total", help="keypoints kept in fingerprints"
+        )
+        self._m_upload_bytes_total = self._registry.counter(
+            "client_upload_bytes_total", help="cumulative fingerprint bytes"
+        )
+        self._m_upload_bytes = self._registry.histogram(
+            "client_upload_bytes",
+            help="per-fingerprint upload size",
+            buckets=DEFAULT_BYTE_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics API
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry all client instrumentation reports into."""
+        return self._registry
+
+    def latency_quantiles(
+        self, stage: str, qs: tuple[float, ...] = (0.5, 0.9, 0.99)
+    ) -> dict[float, float]:
+        """Per-frame latency quantiles (seconds) for one pipeline stage.
+
+        ``stage`` is one of ``"sift"``, ``"oracle"``, ``"serialize"``.
+        Returns ``{q: seconds}``; all zeros before the first frame.
+        """
+        if stage not in _STAGES:
+            raise ValueError(f"unknown stage {stage!r}; expected one of {_STAGES}")
+        return self._m_stage_seconds[stage].quantiles(qs)
+
+    @property
+    def stats(self) -> ClientStats:
+        """Deprecated: use :attr:`metrics` / :meth:`latency_quantiles`."""
+        _deprecated(
+            "VisualPrintClient.stats is deprecated; use client.metrics "
+            "and client.latency_quantiles(stage) instead"
+        )
+        if self._stats_view is None:
+            self._stats_view = ClientStats(self._registry)
+        return self._stats_view
+
+    def median_latency(self, stage: str) -> float:
+        """Deprecated: median per-frame seconds for one stage.
+
+        Equivalent to ``client.latency_quantiles(stage)[0.5]``.
+        """
+        _deprecated(
+            "VisualPrintClient.median_latency is deprecated; use "
+            "client.latency_quantiles(stage)[0.5] instead"
+        )
+        if stage not in _STAGES:
+            raise ValueError(f"unknown stage {stage!r}; expected one of {_STAGES}")
+        return self._m_stage_seconds[stage].quantile(0.5)
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
 
     def extract_keypoints(self, image: np.ndarray) -> KeypointSet:
         """SIFT extraction with latency accounting."""
-        with self._watch.measure("sift"):
-            keypoints = self._extractor.extract(image)
-        self.stats.sift_seconds.append(self._watch.samples("sift")[-1])
+        with self.tracer.span("sift") as span:
+            with self._m_stage_seconds["sift"].time():
+                keypoints = self._extractor.extract(image)
+            span.set("keypoints", len(keypoints))
         return keypoints
 
     def fingerprint_keypoints(
@@ -76,13 +226,15 @@ class VisualPrintClient:
             )
             self._account(keypoints, fingerprint)
             return fingerprint
-        with self._watch.measure("oracle"):
-            counts = self.oracle.counts(keypoints.descriptors)
-            order = self.oracle.rank_by_uniqueness(
-                keypoints.descriptors, counts=counts
-            )
-            kept = order[: config.fingerprint_size]
-        self.stats.oracle_seconds.append(self._watch.samples("oracle")[-1])
+        with self.tracer.span("oracle") as span:
+            with self._m_stage_seconds["oracle"].time():
+                counts = self.oracle.counts(keypoints.descriptors)
+                order = self.oracle.rank_by_uniqueness(
+                    keypoints.descriptors, counts=counts
+                )
+                kept = order[: config.fingerprint_size]
+            span.set("candidates", len(keypoints))
+            span.set("kept", int(kept.shape[0]))
         fingerprint = Fingerprint(
             keypoints=keypoints.select(kept),
             uniqueness_counts=counts[kept],
@@ -100,26 +252,20 @@ class VisualPrintClient:
         is uploaded for it) — only possible when a
         :class:`repro.features.BlurDetector` was supplied.
         """
-        if self.blur_detector is not None and self.blur_detector.is_blurred(image):
-            self.stats.frames_rejected_blur += 1
-            return None
-        keypoints = self.extract_keypoints(image)
-        return self.fingerprint_keypoints(keypoints, frame_index=frame_index)
+        with self.tracer.span("frame", frame_index=frame_index):
+            if self.blur_detector is not None and self.blur_detector.is_blurred(image):
+                self._m_frames_blur.inc()
+                return None
+            keypoints = self.extract_keypoints(image)
+            return self.fingerprint_keypoints(keypoints, frame_index=frame_index)
 
     def _account(self, keypoints: KeypointSet, fingerprint: Fingerprint) -> None:
-        self.stats.frames_processed += 1
-        self.stats.keypoints_extracted += len(keypoints)
-        self.stats.keypoints_uploaded += len(fingerprint)
-        self.stats.bytes_uploaded += fingerprint.upload_bytes
-
-    def median_latency(self, stage: str) -> float:
-        """Median per-frame seconds for ``"sift"`` or ``"oracle"``."""
-        samples = {
-            "sift": self.stats.sift_seconds,
-            "oracle": self.stats.oracle_seconds,
-        }.get(stage)
-        if samples is None:
-            raise ValueError(f"unknown stage {stage!r}")
-        if not samples:
-            return 0.0
-        return float(np.median(samples))
+        with self.tracer.span("serialize") as span:
+            with self._m_stage_seconds["serialize"].time():
+                upload_bytes = fingerprint.upload_bytes
+            span.set("bytes", upload_bytes)
+        self._m_frames.inc()
+        self._m_keypoints_extracted.inc(len(keypoints))
+        self._m_keypoints_uploaded.inc(len(fingerprint))
+        self._m_upload_bytes_total.inc(upload_bytes)
+        self._m_upload_bytes.observe(upload_bytes)

@@ -16,10 +16,16 @@ whose position tuple was never actually inserted.
 The structure is "aggressively probabilistic — false positives create a
 minimal performance penalty" — a keypoint wrongly counted as common just
 loses its spot in the fingerprint to the next-most-unique one.
+
+Every oracle reports into a :class:`repro.obs.MetricsRegistry`
+(explicit, contextual, or private — see :func:`repro.obs.resolve_registry`):
+insert/lookup latency histograms, descriptor counters, multiprobe-accept
+and verification-veto counters, and a counter-saturation gauge.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +36,9 @@ from repro.bloom.verification import VerificationBloomFilter
 from repro.core.config import VisualPrintConfig
 from repro.hashing.families import Murmur3Family
 from repro.lsh.buckets import QuantizedBuckets
+from repro.lsh.multiprobe import perturbation_sets
 from repro.lsh.projections import StableProjections
+from repro.obs import MetricsRegistry, resolve_registry
 
 __all__ = ["OracleLookup", "UniquenessOracle"]
 
@@ -47,7 +55,11 @@ class OracleLookup:
 class UniquenessOracle:
     """Compact, downloadable commonness estimator for SIFT descriptors."""
 
-    def __init__(self, config: VisualPrintConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: VisualPrintConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config or VisualPrintConfig()
         cfg = self.config
         self.projections = StableProjections(cfg.lsh, seed=cfg.seed)
@@ -71,6 +83,44 @@ class UniquenessOracle:
             for table in range(cfg.lsh.num_tables)
         ]
         self._inserted = 0
+        self._registry = resolve_registry(registry)
+        # Instrument handles are bound once: the counts() hot path pays
+        # one perf_counter pair + two attribute calls, nothing more.
+        self._m_insert_seconds = self._registry.histogram(
+            "oracle_insert_seconds", help="wall-clock per insert() call"
+        )
+        self._m_inserted_total = self._registry.counter(
+            "oracle_descriptors_inserted_total", help="descriptors indexed"
+        )
+        self._m_counts_seconds = self._registry.histogram(
+            "oracle_counts_seconds", help="wall-clock per counts() batch"
+        )
+        self._m_counts_descriptors = self._registry.counter(
+            "oracle_counts_descriptors_total", help="descriptors passed to counts()"
+        )
+        self._m_lookup_seconds = self._registry.histogram(
+            "oracle_lookup_seconds", help="wall-clock per lookup_batch() call"
+        )
+        self._m_lookups_total = self._registry.counter(
+            "oracle_lookups_total", help="descriptors resolved via lookup paths"
+        )
+        self._m_multiprobe_accepts = self._registry.counter(
+            "oracle_multiprobe_accepts_total",
+            help="table accepts where the accepting probe was perturbed",
+        )
+        self._m_verification_vetoes = self._registry.counter(
+            "oracle_verification_vetoes_total",
+            help="probe matches vetoed by the verification filter",
+        )
+        self._m_saturation = self._registry.gauge(
+            "oracle_counter_saturation",
+            help="fraction of counting-filter counters at the saturation ceiling",
+        )
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this oracle reports into."""
+        return self._registry
 
     # ------------------------------------------------------------------
     # Indexing
@@ -80,13 +130,21 @@ class UniquenessOracle:
     def inserted_count(self) -> int:
         return self._inserted
 
+    def saturation_ratio(self) -> float:
+        """Fraction of counters pinned at the saturation ceiling."""
+        counters = self.counting.counters
+        return float((counters >= self.counting.saturation).mean())
+
     def insert(self, descriptors: np.ndarray, batch_size: int = 20_000) -> None:
         """Index descriptors: bump K counters per table per descriptor."""
         descriptors = np.asarray(descriptors, dtype=np.float32)
         if descriptors.ndim != 2:
             raise ValueError(f"descriptors must be 2-D, got {descriptors.shape}")
-        for start in range(0, descriptors.shape[0], batch_size):
-            self._insert_batch(descriptors[start : start + batch_size])
+        with self._m_insert_seconds.time():
+            for start in range(0, descriptors.shape[0], batch_size):
+                self._insert_batch(descriptors[start : start + batch_size])
+        self._m_inserted_total.inc(descriptors.shape[0])
+        self._m_saturation.set(self.saturation_ratio())
 
     def _insert_batch(self, descriptors: np.ndarray) -> None:
         quantized = QuantizedBuckets(self.projections.quantize(descriptors))
@@ -108,6 +166,18 @@ class UniquenessOracle:
     # Lookup
     # ------------------------------------------------------------------
 
+    def _counts_from_quantized(self, quantized: QuantizedBuckets) -> np.ndarray:
+        """Min-counter estimate for already-quantized descriptors."""
+        counters = self.counting.counters
+        estimate = np.full(
+            quantized.num_items, np.iinfo(np.int64).max, dtype=np.int64
+        )
+        for table, family in enumerate(self._families):
+            indices = family.indices(quantized.table_vectors(table))
+            table_min = counters[indices].min(axis=1).astype(np.int64)
+            np.minimum(estimate, table_min, out=estimate)
+        return estimate
+
     def counts(self, descriptors: np.ndarray) -> np.ndarray:
         """Commonness estimate per descriptor (vectorized hot path).
 
@@ -125,66 +195,101 @@ class UniquenessOracle:
         keypoint each frame, so it stays constant-time per keypoint:
         quantize, hash, gather, min-reduce.
         """
+        start = time.perf_counter()
         descriptors = np.asarray(descriptors, dtype=np.float32)
         quantized = QuantizedBuckets(self.projections.quantize(descriptors))
-        counters = self.counting.counters
-        estimate = np.full(
-            descriptors.shape[0], np.iinfo(np.int64).max, dtype=np.int64
-        )
-        for table, family in enumerate(self._families):
-            indices = family.indices(quantized.table_vectors(table))
-            table_min = counters[indices].min(axis=1).astype(np.int64)
-            np.minimum(estimate, table_min, out=estimate)
+        estimate = self._counts_from_quantized(quantized)
+        self._m_counts_seconds.observe(time.perf_counter() - start)
+        self._m_counts_descriptors.inc(descriptors.shape[0])
         return estimate
 
     def lookup(self, descriptor: np.ndarray) -> OracleLookup:
         """Full lookup with multiprobe and verification for one descriptor.
+
+        Scalar convenience wrapper over :meth:`lookup_batch`.
+        """
+        descriptor = np.asarray(descriptor, dtype=np.float32).reshape(1, -1)
+        return self.lookup_batch(descriptor)[0]
+
+    def lookup_batch(self, descriptors: np.ndarray) -> list[OracleLookup]:
+        """Full lookups (multiprobe + verification) for a descriptor batch.
 
         Implements the paper's retrieval path: the original bucket plus
         multiprobe perturbations are checked per table; a probe passes on
         a full K-match, or on a K-1 partial match (the off-by-one false
         negative case); either way the verification filter must confirm
         the probe's position tuple.
-        """
-        from repro.lsh.multiprobe import perturbation_sets
 
-        descriptor = np.asarray(descriptor, dtype=np.float32).reshape(1, -1)
-        buckets, residuals = self.projections.quantize_with_residuals(descriptor)
+        Quantization (projections + residuals) and the count estimate
+        run once, vectorized across the whole batch; only the per-table
+        probe walk is per-descriptor.  Prefer this over looping
+        :meth:`lookup`.
+        """
+        start = time.perf_counter()
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        if descriptors.ndim != 2:
+            raise ValueError(f"descriptors must be 2-D, got {descriptors.shape}")
+        num = descriptors.shape[0]
+        if num == 0:
+            return []
+        buckets, residuals = self.projections.quantize_with_residuals(descriptors)
         quantized = QuantizedBuckets(buckets)
+        counts = self._counts_from_quantized(quantized)
         counters = self.counting.counters
-        accepting_tables = 0
-        used_multiprobe = False
-        for table, family in enumerate(self._families):
-            probes: list[tuple[np.ndarray, bool]] = [
-                (quantized.table_vectors(table)[0], False)
-            ]
-            for projection, delta in perturbation_sets(
-                residuals[0, table, :], self.config.max_probes_per_table
-            ):
-                probes.append((quantized.perturbed(table, projection, delta)[0], True))
-            for vector, is_probe in probes:
-                indices = family.indices(vector[np.newaxis, :])
-                probed = counters[indices[0]]
-                nonzero = int((probed > 0).sum())
-                full_match = nonzero == self.config.bloom_hashes
-                partial_match = nonzero == self.config.bloom_hashes - 1
-                if not (full_match or partial_match):
-                    continue
-                if not bool(self.verification.verify(indices)[0]):
-                    continue
-                accepting_tables += 1
-                used_multiprobe = used_multiprobe or is_probe
-                break  # original bucket first; stop at the first accept
-        # Presence needs a quorum of tables: with coarse quantization
-        # (W = 500) a few "hotspot" buckets absorb many descriptors, so a
-        # single-table accept is exactly the LSH/Bloom-interplay false
-        # positive the paper warns about.  Requiring agreement from half
-        # the tables mirrors the median aggregation of :meth:`counts`.
-        present = accepting_tables >= (self.config.lsh.num_tables + 1) // 2
-        best_count = int(self.counts(descriptor)[0])
-        return OracleLookup(
-            count=best_count, present=present, used_multiprobe=used_multiprobe
-        )
+        quorum = (self.config.lsh.num_tables + 1) // 2
+        multiprobe_accepts = 0
+        verification_vetoes = 0
+        results: list[OracleLookup] = []
+        for row in range(num):
+            row_quantized = QuantizedBuckets(buckets[row : row + 1])
+            accepting_tables = 0
+            used_multiprobe = False
+            for table, family in enumerate(self._families):
+                probes: list[tuple[np.ndarray, bool]] = [
+                    (row_quantized.table_vectors(table)[0], False)
+                ]
+                for projection, delta in perturbation_sets(
+                    residuals[row, table, :], self.config.max_probes_per_table
+                ):
+                    probes.append(
+                        (row_quantized.perturbed(table, projection, delta)[0], True)
+                    )
+                for vector, is_probe in probes:
+                    indices = family.indices(vector[np.newaxis, :])
+                    probed = counters[indices[0]]
+                    nonzero = int((probed > 0).sum())
+                    full_match = nonzero == self.config.bloom_hashes
+                    partial_match = nonzero == self.config.bloom_hashes - 1
+                    if not (full_match or partial_match):
+                        continue
+                    if not bool(self.verification.verify(indices)[0]):
+                        verification_vetoes += 1
+                        continue
+                    accepting_tables += 1
+                    if is_probe:
+                        used_multiprobe = True
+                        multiprobe_accepts += 1
+                    break  # original bucket first; stop at the first accept
+            # Presence needs a quorum of tables: with coarse quantization
+            # (W = 500) a few "hotspot" buckets absorb many descriptors,
+            # so a single-table accept is exactly the LSH/Bloom-interplay
+            # false positive the paper warns about.  Requiring agreement
+            # from half the tables mirrors the median aggregation of
+            # :meth:`counts`.
+            results.append(
+                OracleLookup(
+                    count=int(counts[row]),
+                    present=accepting_tables >= quorum,
+                    used_multiprobe=used_multiprobe,
+                )
+            )
+        self._m_lookup_seconds.observe(time.perf_counter() - start)
+        self._m_lookups_total.inc(num)
+        if multiprobe_accepts:
+            self._m_multiprobe_accepts.inc(multiprobe_accepts)
+        if verification_vetoes:
+            self._m_verification_vetoes.inc(verification_vetoes)
+        return results
 
     def rank_by_uniqueness(
         self, descriptors: np.ndarray, counts: np.ndarray | None = None

@@ -34,6 +34,7 @@ from repro.localization.solver import (
     LocalizationSolution,
 )
 from repro.lsh import LshIndex
+from repro.obs import DEFAULT_BYTE_BUCKETS, MetricsRegistry, Tracer, resolve_registry
 
 __all__ = ["LocalizationAnswer", "VisualPrintServer"]
 
@@ -56,9 +57,12 @@ class VisualPrintServer:
         config: VisualPrintConfig | None = None,
         bounds: tuple[np.ndarray, np.ndarray] | None = None,
         intrinsics: CameraIntrinsics | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or VisualPrintConfig()
-        self.oracle = UniquenessOracle(self.config)
+        self._registry = resolve_registry(registry)
+        self.tracer = Tracer(self._registry)
+        self.oracle = UniquenessOracle(self.config, registry=self._registry)
         # The lookup table shares the oracle's LSH parameters but is a
         # separate structure (it stores payloads, not counters).
         self.lookup = LshIndex(
@@ -71,24 +75,70 @@ class VisualPrintServer:
         self._positions: list[np.ndarray] = []
         self._bounds = bounds
         self._localizer = AngularLocalizer(seed=self.config.seed)
+        self._m_ingest_seconds = self._registry.histogram(
+            "server_ingest_seconds", help="wall-clock per ingest() batch"
+        )
+        self._m_ingest_bytes = self._registry.histogram(
+            "server_ingest_bytes",
+            help="descriptor payload bytes per ingest() batch",
+            buckets=DEFAULT_BYTE_BUCKETS,
+        )
+        self._m_ingest_descriptors = self._registry.counter(
+            "server_ingest_descriptors_total", help="keypoint-to-3D mappings ingested"
+        )
+        self._m_localize_seconds = self._registry.histogram(
+            "server_localize_seconds", help="wall-clock per localize() query"
+        )
+        self._m_localizations = self._registry.counter(
+            "server_localizations_total", help="localization queries answered"
+        )
+        self._m_fallback_poses = self._registry.counter(
+            "server_fallback_poses_total",
+            help="queries answered with the no-match fallback pose",
+        )
+        self._m_matched_points = self._registry.histogram(
+            "server_matched_points",
+            help="LSH-matched 3D points per query",
+            buckets=(0.0, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0),
+        )
+        self._m_clustered_points = self._registry.histogram(
+            "server_clustered_points",
+            help="points surviving spatial clustering per query",
+            buckets=(0.0, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0),
+        )
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this server (and its oracle) reports into."""
+        return self._registry
 
     # ------------------------------------------------------------------
     # Ingest (wardriving)
     # ------------------------------------------------------------------
 
     def ingest(self, descriptors: np.ndarray, positions_3d: np.ndarray) -> None:
-        """Add keypoint-to-3D mappings from a wardriving session."""
+        """Add keypoint-to-3D mappings from a wardriving session.
+
+        "As new keypoint-to-location mappings can be incorporated
+        continuously, in constant time and memory" — both the oracle and
+        the LSH lookup table are updated incrementally; only the new
+        batch is hashed (see :meth:`repro.lsh.LshIndex.insert`).
+        """
         descriptors = np.asarray(descriptors, dtype=np.float32)
         positions_3d = np.asarray(positions_3d, dtype=np.float64)
         if descriptors.shape[0] != positions_3d.shape[0]:
             raise ValueError("descriptors and positions must align")
-        self._descriptors.append(descriptors)
-        self._positions.append(positions_3d)
-        self.oracle.insert(descriptors)
-        # Rebuilding keeps the index consistent after each batch; the
-        # real service appends, but our batch sizes make rebuild cheap.
-        all_descriptors = np.vstack(self._descriptors)
-        self.lookup.build(all_descriptors, np.arange(all_descriptors.shape[0]))
+        with self._m_ingest_seconds.time():
+            start_row = self.num_mappings
+            self._descriptors.append(descriptors)
+            self._positions.append(positions_3d)
+            self.oracle.insert(descriptors)
+            self.lookup.insert(
+                descriptors,
+                np.arange(start_row, start_row + descriptors.shape[0]),
+            )
+        self._m_ingest_bytes.observe(descriptors.nbytes)
+        self._m_ingest_descriptors.inc(descriptors.shape[0])
 
     @property
     def num_mappings(self) -> int:
@@ -123,6 +173,17 @@ class VisualPrintServer:
 
     def localize(self, fingerprint: Fingerprint) -> LocalizationAnswer:
         """Answer a fingerprint query with a 6-DoF pose estimate."""
+        with self.tracer.span("localize", frame_index=fingerprint.frame_index):
+            with self._m_localize_seconds.time():
+                answer = self._localize(fingerprint)
+        self._m_localizations.inc()
+        self._m_matched_points.observe(answer.matched_points)
+        self._m_clustered_points.observe(answer.clustered_points)
+        if not answer.solution.converged and answer.matched_points == 0:
+            self._m_fallback_poses.inc()
+        return answer
+
+    def _localize(self, fingerprint: Fingerprint) -> LocalizationAnswer:
         low, high = self.bounds()
         positions = self.positions
         matches = self.lookup.query_batch(

@@ -62,8 +62,12 @@ def run(
         fingerprint = client.process_frame(image, frame_index)
         fingerprint_bytes.append(fingerprint.upload_bytes)
         frame_bytes.append(len(codec.encode(to_uint8(image))))
+        # Per-frame stage timings come from the client's trace: the
+        # "frame" root span nests one "sift" and one "oracle" child.
+        frame_span = client.tracer.last_root()
         compute_seconds.append(
-            client.stats.sift_seconds[-1] + client.stats.oracle_seconds[-1]
+            frame_span.child("sift").duration_seconds
+            + frame_span.child("oracle").duration_seconds
         )
 
     rng = rng_for(seed, "latency-e2e")

@@ -59,16 +59,70 @@ class LshIndex:
         self._tables: list[dict[int, np.ndarray]] = [
             {} for _ in range(self.params.num_tables)
         ]
-        self._descriptors: np.ndarray | None = None
-        self._item_ids: np.ndarray | None = None
+        # Amortized-growth row storage: descriptors/ids live in
+        # capacity-doubling arrays so :meth:`insert` appends in O(batch)
+        # instead of re-copying (and re-hashing) all history per batch.
+        self._store: np.ndarray | None = None
+        self._ids_store: np.ndarray | None = None
+        self._size = 0
+
+    @property
+    def _descriptors(self) -> np.ndarray | None:
+        if self._store is None or self._size == 0:
+            return None
+        return self._store[: self._size]
+
+    @property
+    def _item_ids(self) -> np.ndarray | None:
+        if self._ids_store is None or self._size == 0:
+            return None
+        return self._ids_store[: self._size]
 
     @property
     def size(self) -> int:
         """Number of indexed descriptors."""
-        return 0 if self._descriptors is None else int(self._descriptors.shape[0])
+        return self._size
 
     def build(self, descriptors: np.ndarray, item_ids: np.ndarray) -> None:
         """(Re)build the index over ``descriptors`` with per-row payload ids."""
+        self._tables = [{} for _ in range(self.params.num_tables)]
+        self._store = None
+        self._ids_store = None
+        self._size = 0
+        self.insert(descriptors, item_ids)
+
+    def _grow_storage(self, extra_rows: int, dimension: int) -> None:
+        needed = self._size + extra_rows
+        if self._store is None:
+            capacity = max(needed, 1024)
+            self._store = np.empty((capacity, dimension), dtype=np.float32)
+            self._ids_store = np.empty(capacity, dtype=np.int64)
+            return
+        if self._store.shape[1] != dimension:
+            raise ValueError(
+                f"descriptor dimension {dimension} does not match "
+                f"indexed dimension {self._store.shape[1]}"
+            )
+        if needed <= self._store.shape[0]:
+            return
+        capacity = max(needed, 2 * self._store.shape[0])
+        grown = np.empty((capacity, self._store.shape[1]), dtype=np.float32)
+        grown[: self._size] = self._store[: self._size]
+        self._store = grown
+        grown_ids = np.empty(capacity, dtype=np.int64)
+        grown_ids[: self._size] = self._ids_store[: self._size]
+        self._ids_store = grown_ids
+
+    def insert(self, descriptors: np.ndarray, item_ids: np.ndarray) -> None:
+        """Append descriptors incrementally — only the new batch is hashed.
+
+        This is the "incorporated continuously, in constant time and
+        memory" ingest path of the paper: per batch the cost is
+        O(batch · L) hashing plus amortized-O(batch) row storage, versus
+        the quadratic cost of rebuilding over all history each time.
+        Bucket capping keeps first-inserted rows, matching what a
+        one-shot :meth:`build` over the concatenated data produces.
+        """
         descriptors = np.asarray(descriptors, dtype=np.float32)
         item_ids = np.asarray(item_ids, dtype=np.int64)
         if descriptors.ndim != 2:
@@ -78,10 +132,17 @@ class LshIndex:
                 "item_ids must have one entry per descriptor, got "
                 f"{item_ids.shape} for {descriptors.shape[0]} descriptors"
             )
-        self._descriptors = descriptors
-        self._item_ids = item_ids
+        num_new = descriptors.shape[0]
+        if num_new == 0:
+            return
+        start_row = self._size
+        self._grow_storage(num_new, descriptors.shape[1])
+        self._store[start_row : start_row + num_new] = descriptors
+        self._ids_store[start_row : start_row + num_new] = item_ids
+        self._size += num_new
+
         quantized = QuantizedBuckets(self.projections.quantize(descriptors))
-        self._tables = []
+        cap = self.max_bucket_size
         for table in range(self.params.num_tables):
             keys = quantized.table_keys(table)
             order = np.argsort(keys, kind="stable")
@@ -89,11 +150,17 @@ class LshIndex:
             boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
             groups = np.split(order, boundaries)
             starts = np.concatenate(([0], boundaries))
-            table_map = {
-                int(sorted_keys[start]): group[: self.max_bucket_size].astype(np.int32)
-                for start, group in zip(starts, groups)
-            }
-            self._tables.append(table_map)
+            table_map = self._tables[table]
+            for start, group in zip(starts, groups):
+                key = int(sorted_keys[start])
+                rows = (group + start_row).astype(np.int32)
+                existing = table_map.get(key)
+                if existing is None:
+                    table_map[key] = rows[:cap]
+                elif existing.size < cap:
+                    table_map[key] = np.concatenate(
+                        [existing, rows[: cap - existing.size]]
+                    )
 
     def _candidate_rows_batch(self, descriptors: np.ndarray) -> list[np.ndarray]:
         """Candidate row sets for ``(n, d)`` query descriptors at once.

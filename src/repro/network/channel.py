@@ -11,9 +11,38 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import DEFAULT_BYTE_BUCKETS, current_registry
 from repro.util.validation import check_positive
 
 __all__ = ["UplinkChannel", "CHANNEL_PRESETS"]
+
+
+def _record_transfer(channel_name: str, num_bytes: int, seconds: float) -> None:
+    """Report a transfer into the contextual registry, if one is active.
+
+    The channel model is a frozen value object used in tight simulation
+    loops, so it carries no registry of its own: outside a
+    :func:`repro.obs.use_registry` block this is a no-op.
+    """
+    registry = current_registry()
+    if registry is None:
+        return
+    registry.histogram(
+        "network_transfer_seconds",
+        help="one-way upload latency per payload",
+        channel=channel_name,
+    ).observe(seconds)
+    registry.histogram(
+        "network_upload_bytes",
+        help="payload size per upload",
+        buckets=DEFAULT_BYTE_BUCKETS,
+        channel=channel_name,
+    ).observe(num_bytes)
+    registry.counter(
+        "network_upload_bytes_total",
+        help="cumulative bytes placed on the uplink",
+        channel=channel_name,
+    ).inc(num_bytes)
 
 
 @dataclass(frozen=True)
@@ -45,9 +74,12 @@ class UplinkChannel:
         """One-way upload latency: serialization + half-RTT (+ jitter)."""
         base = self.serialization_seconds(num_bytes) + self.rtt_ms / 2e3
         if rng is None or self.jitter_sigma == 0:
+            _record_transfer(self.name, num_bytes, base)
             return base
         jitter = float(rng.lognormal(mean=0.0, sigma=self.jitter_sigma))
-        return self.serialization_seconds(num_bytes) + self.rtt_ms / 2e3 * jitter
+        seconds = self.serialization_seconds(num_bytes) + self.rtt_ms / 2e3 * jitter
+        _record_transfer(self.name, num_bytes, seconds)
+        return seconds
 
     def round_trip_seconds(
         self,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.network.channel import UplinkChannel
+from repro.obs import current_registry
 
 __all__ = ["UploadEvent", "UploadTrace", "simulate_stream"]
 
@@ -69,9 +70,11 @@ def simulate_stream(
     trace = UploadTrace(scheme=scheme)
     uplink_free_at = 0.0
     cumulative = 0
+    dropped = 0
     for frame_index, payload in enumerate(payload_bytes_per_frame):
         capture_time = frame_index / capture_fps
         if drop_when_backlogged and uplink_free_at > capture_time:
+            dropped += 1
             continue
         start = max(capture_time, uplink_free_at)
         finish = start + channel.serialization_seconds(payload)
@@ -84,4 +87,21 @@ def simulate_stream(
                 cumulative_bytes=cumulative,
             )
         )
+    registry = current_registry()
+    if registry is not None:
+        registry.counter(
+            "network_payloads_total",
+            help="payloads that made it onto the uplink",
+            scheme=scheme,
+        ).inc(len(trace.events))
+        registry.counter(
+            "network_frames_dropped_total",
+            help="frames dropped because the uplink was backlogged",
+            scheme=scheme,
+        ).inc(dropped)
+        registry.counter(
+            "network_stream_bytes_total",
+            help="cumulative bytes a simulated capture session uploaded",
+            scheme=scheme,
+        ).inc(cumulative)
     return trace

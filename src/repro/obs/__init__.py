@@ -1,0 +1,66 @@
+"""``repro.obs`` — the observability layer of the reproduction.
+
+Dependency-free metrics (:class:`Counter` / :class:`Gauge` /
+:class:`Histogram` in a :class:`MetricsRegistry`), nested tracing
+:class:`Span`\\ s, and exporters (``to_dict`` / JSON file / Prometheus
+text format).  The offload pipeline — client, oracle, server, uplink —
+reports into whichever registry is current (see :func:`use_registry`),
+which is how ``python -m repro <experiment> --metrics-json out.json``
+captures one coherent snapshot across every stage.
+
+Typical use::
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        ...  # build clients/servers, run frames
+    print(registry.to_prometheus())
+    registry.write_json("metrics.json")
+"""
+
+from repro.obs.export import parse_prometheus, render_prometheus
+from repro.obs.metrics import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    get_global_registry,
+    use_registry,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BYTE_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "current_registry",
+    "get_global_registry",
+    "parse_prometheus",
+    "render_prometheus",
+    "resolve_registry",
+    "use_registry",
+]
+
+
+def resolve_registry(registry: "MetricsRegistry | None") -> "MetricsRegistry":
+    """Explicit registry > contextual registry > a fresh private one.
+
+    The resolution rule every instrumented component applies at
+    construction time, so tests get isolated registries by default
+    while experiment drivers share one via :func:`use_registry`.
+    """
+    if registry is not None:
+        return registry
+    contextual = current_registry()
+    if contextual is not None:
+        return contextual
+    return MetricsRegistry()

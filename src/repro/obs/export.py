@@ -1,0 +1,162 @@
+"""Exporters: Prometheus text exposition format and a round-trip parser.
+
+``render_prometheus`` emits the version-0.0.4 text format (``# HELP`` /
+``# TYPE`` headers, cumulative ``_bucket{le=...}`` samples for
+histograms, escaped help text and label values).  ``parse_prometheus``
+reads that format back into flat samples so tests can prove the export
+round-trips a registry exactly — and so scrapes from a real Prometheus
+endpoint stay byte-compatible if one is ever bolted on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["parse_prometheus", "render_prometheus", "write_json"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """Registry → Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    samples_by_family: dict[str, list[str]] = {}
+    # Emit HELP/TYPE once per metric family, then that family's samples.
+    for instrument in registry.instruments():
+        if instrument.name not in seen_headers:
+            seen_headers.add(instrument.name)
+            if instrument.help:
+                lines.append(f"# HELP {instrument.name} {_escape_help(instrument.help)}")
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            samples_by_family[instrument.name] = []
+            lines.append(f"__SAMPLES__{instrument.name}")
+    for name, labels, value in registry.samples():
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in samples_by_family:
+                family = name[: -len(suffix)]
+                break
+        target = samples_by_family.get(name, samples_by_family.get(family))
+        target.append(f"{name}{_render_labels(labels)} {_format_value(value)}")
+    out: list[str] = []
+    for line in lines:
+        if line.startswith("__SAMPLES__"):
+            out.extend(samples_by_family[line[len("__SAMPLES__"):]])
+        else:
+            out.append(line)
+    return "\n".join(out) + "\n" if out else ""
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(char)
+                out.append(nxt)
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _parse_labels(body: str) -> tuple[tuple[str, str], ...]:
+    labels: list[tuple[str, str]] = []
+    index = 0
+    while index < len(body):
+        equals = body.index("=", index)
+        name = body[index:equals].strip().lstrip(",").strip()
+        if body[equals + 1] != '"':
+            raise ValueError(f"malformed label value in {body!r}")
+        cursor = equals + 2
+        raw: list[str] = []
+        while cursor < len(body):
+            char = body[cursor]
+            if char == "\\":
+                raw.append(body[cursor : cursor + 2])
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            cursor += 1
+        labels.append((name, _unescape_label_value("".join(raw))))
+        index = cursor + 1
+    return tuple(labels)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> list[tuple[str, tuple[tuple[str, str], ...], float]]:
+    """Prometheus text format → flat ``(name, labels, value)`` samples.
+
+    The inverse of :func:`render_prometheus` for the subset this module
+    emits; compare against :meth:`MetricsRegistry.samples` to verify a
+    round trip.
+    """
+    samples: list[tuple[str, tuple[tuple[str, str], ...], float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name = line[: line.index("{")]
+            closing = line.rindex("}")
+            labels = _parse_labels(line[line.index("{") + 1 : closing])
+            value_text = line[closing + 1 :].strip().split()[0]
+        else:
+            parts = line.split()
+            name, value_text = parts[0], parts[1]
+            labels = ()
+        samples.append((name, labels, _parse_value(value_text)))
+    return samples
+
+
+def write_json(registry: "MetricsRegistry", path: str) -> None:
+    """Convenience alias for :meth:`MetricsRegistry.write_json`."""
+    registry.write_json(path)

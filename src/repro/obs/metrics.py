@@ -1,0 +1,481 @@
+"""Instrument primitives: counters, gauges, histograms, and a registry.
+
+The observability layer the rest of the reproduction reports into.  It
+is deliberately dependency-free (stdlib only — not even numpy) so the
+hot paths it instruments pay microseconds, not imports: a
+:class:`Counter` increment is one float add, a :class:`Histogram`
+observation is a bisect plus an (amortized O(1)) reservoir update.
+
+Three design points worth knowing:
+
+* **Get-or-create registry.**  ``registry.counter("x")`` returns the
+  existing instrument when one named ``x`` (with the same labels)
+  already exists, so call sites never coordinate instrument creation.
+  Re-registering a name as a different type is an error.
+* **Contextual default registry.**  Pipeline components
+  (:class:`repro.core.client.VisualPrintClient`, the oracle, the
+  server, the channel model) record into an explicit registry when
+  given one, else into the registry installed by
+  :func:`use_registry`, else into a private one.  The CLI wraps every
+  experiment in ``use_registry`` so one ``--metrics-json`` snapshot
+  captures client, oracle, network, and server at once.
+* **Reservoir quantiles.**  Histograms keep fixed cumulative buckets
+  (Prometheus-style) *and* a bounded uniform sample of raw values
+  (Vitter's Algorithm R, seeded per-instrument for determinism) so
+  ``quantile(0.5)`` stays accurate without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BYTE_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "get_global_registry",
+    "use_registry",
+]
+
+# Seconds-scale bounds covering microsecond instrument overhead up to
+# multi-second SIFT extraction (Fig. 16's range on phone-class hardware).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+# Payload-size bounds: a fingerprint is KB-scale, a lossless frame is
+# hundreds of KB (Fig. 14's two curves live at opposite ends).
+DEFAULT_BYTE_BUCKETS: tuple[float, ...] = (
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0, 16777216.0,
+)
+
+_RESERVOIR_SIZE = 1024
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (frames, bytes, vetoes, ...)."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labels", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (saturation ratio, queue depth)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "labels", "_value")
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+
+class Histogram:
+    """Fixed cumulative buckets plus a reservoir for quantiles."""
+
+    kind = "histogram"
+    __slots__ = (
+        "name", "help", "labels", "bucket_bounds", "_bucket_counts",
+        "_count", "_sum", "_min", "_max", "_reservoir", "_rng",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict[str, str] | None = None,
+        buckets: tuple[float, ...] | None = None,
+    ):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        bounds = tuple(float(b) for b in (buckets or DEFAULT_LATENCY_BUCKETS))
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram buckets must be strictly increasing: {bounds}")
+        self.bucket_bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._reservoir: list[float] = []
+        # Deterministic per-instrument stream: same observations in the
+        # same order always summarize identically (tests rely on this).
+        self._rng = random.Random(hash(name) & 0xFFFFFFFF)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._bucket_counts[bisect_left(self.bucket_bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._reservoir) < _RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:  # Algorithm R replacement keeps a uniform sample.
+            slot = self._rng.randrange(self._count)
+            if slot < _RESERVOIR_SIZE:
+                self._reservoir[slot] = value
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Observe the wall-clock duration of a ``with`` block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def values(self) -> list[float]:
+        """Reservoir snapshot (exact and insertion-ordered until
+        ``_RESERVOIR_SIZE`` observations, a uniform subsample after)."""
+        return list(self._reservoir)
+
+    def quantile(self, q: float) -> float:
+        """Reservoir quantile with linear interpolation; 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def quantiles(self, qs: tuple[float, ...] = (0.5, 0.9, 0.99)) -> dict[float, float]:
+        if not self._reservoir:
+            return {q: 0.0 for q in qs}
+        ordered = sorted(self._reservoir)
+        out = {}
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+            position = q * (len(ordered) - 1)
+            low = int(position)
+            high = min(low + 1, len(ordered) - 1)
+            fraction = position - low
+            out[q] = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        return out
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending at +Inf."""
+        cumulative = 0
+        pairs: list[tuple[float, int]] = []
+        for bound, count in zip(self.bucket_bounds, self._bucket_counts):
+            cumulative += count
+            pairs.append((bound, cumulative))
+        pairs.append((float("inf"), cumulative + self._bucket_counts[-1]))
+        return pairs
+
+    def reset(self) -> None:
+        self._bucket_counts = [0] * (len(self.bucket_bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._reservoir.clear()
+
+    def to_dict(self) -> dict[str, Any]:
+        quantiles = self.quantiles((0.5, 0.9, 0.99))
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
+            "mean": self.mean,
+            "p50": quantiles[0.5],
+            "p90": quantiles[0.9],
+            "p99": quantiles[0.99],
+            "buckets": [
+                {"le": bound, "count": count} for bound, count in self.bucket_counts()
+            ],
+        }
+
+
+class _NullContext:
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class _NullInstrument:
+    """No-op stand-in handed out by a disabled registry."""
+
+    kind = "null"
+    __slots__ = ("name", "help", "labels")
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> _NullContext:
+        return _NullContext()
+
+    def reset(self) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    def values(self) -> list[float]:
+        return []
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def quantiles(self, qs: tuple[float, ...] = (0.5, 0.9, 0.99)) -> dict[float, float]:
+        return {q: 0.0 for q in qs}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+
+class MetricsRegistry:
+    """Namespace of instruments with get-or-create semantics.
+
+    ``MetricsRegistry(enabled=False)`` hands out no-op instruments —
+    the uninstrumented baseline the overhead benchmark compares against.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument accessors ------------------------------------------
+
+    def _get_or_create(self, cls: type, name: str, help: str,
+                       labels: dict[str, str], **kwargs: Any) -> Any:
+        if not self.enabled:
+            return _NullInstrument(name, help, labels)
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    instrument = cls(name, help=help, labels=labels, **kwargs)
+                    self._instruments[key] = instrument
+        if not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"not {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    # -- introspection / export ----------------------------------------
+
+    def instruments(self) -> list[Any]:
+        """All registered instruments, sorted by (name, labels)."""
+        return [self._instruments[key] for key in sorted(self._instruments)]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key[0] == name for key in self._instruments)
+
+    def get(self, name: str, **labels: str) -> Any | None:
+        """Existing instrument by name (and labels), or ``None``."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def reset(self) -> None:
+        """Zero every instrument (instruments stay registered)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def samples(self) -> list[tuple[str, tuple[tuple[str, str], ...], float]]:
+        """Flat ``(sample_name, labels, value)`` triples.
+
+        Exactly the samples the Prometheus text rendering emits, in
+        order — the round-trip contract tested against
+        :func:`repro.obs.export.parse_prometheus`.
+        """
+        out: list[tuple[str, tuple[tuple[str, str], ...], float]] = []
+        for instrument in self.instruments():
+            base = _label_key(instrument.labels)
+            if instrument.kind in ("counter", "gauge"):
+                out.append((instrument.name, base, instrument.value))
+            elif instrument.kind == "histogram":
+                for bound, count in instrument.bucket_counts():
+                    le = "+Inf" if bound == float("inf") else repr(bound)
+                    out.append(
+                        (f"{instrument.name}_bucket", base + (("le", le),), float(count))
+                    )
+                out.append((f"{instrument.name}_sum", base, instrument.sum))
+                out.append((f"{instrument.name}_count", base, float(instrument.count)))
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot grouped by instrument kind."""
+        snapshot: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        group = {"counter": "counters", "gauge": "gauges", "histogram": "histograms"}
+        for instrument in self.instruments():
+            entry = instrument.to_dict()
+            if instrument.labels:
+                entry["labels"] = dict(instrument.labels)
+                key = instrument.name + "{" + ",".join(
+                    f"{k}={v}" for k, v in _label_key(instrument.labels)
+                ) + "}"
+            else:
+                key = instrument.name
+            if instrument.help:
+                entry["help"] = instrument.help
+            snapshot[group[instrument.kind]][key] = entry
+        return snapshot
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def to_prometheus(self) -> str:
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(self)
+
+
+# ----------------------------------------------------------------------
+# Contextual default registry
+# ----------------------------------------------------------------------
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+_context_stack: list[MetricsRegistry] = []
+
+
+def get_global_registry() -> MetricsRegistry:
+    """The process-wide fallback registry (rarely what you want to read;
+    prefer :func:`use_registry` scoping or per-component registries)."""
+    return _GLOBAL_REGISTRY
+
+
+def current_registry() -> MetricsRegistry | None:
+    """The innermost :func:`use_registry` registry, or ``None``."""
+    return _context_stack[-1] if _context_stack else None
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the contextual default.
+
+    Components constructed (or channel transfers performed) inside the
+    block report into it unless they were given an explicit registry.
+    """
+    _context_stack.append(registry)
+    try:
+        yield registry
+    finally:
+        _context_stack.pop()

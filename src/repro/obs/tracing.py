@@ -1,0 +1,108 @@
+"""Lightweight tracing: nested spans with per-stage wall-clock.
+
+A :class:`Span` is one timed region of the pipeline ("frame" →
+"sift" / "oracle" / "serialize"); a :class:`Tracer` maintains the
+active-span stack so ``with tracer.span(...)`` nests automatically.
+Finished root spans are retained (bounded) for inspection, and every
+span's duration is mirrored into a registry histogram named
+``span_<name>_seconds`` so traces and metrics tell one story.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer"]
+
+_MAX_RETAINED_ROOTS = 256
+
+
+class Span:
+    """One timed pipeline region, possibly with child spans."""
+
+    __slots__ = ("name", "start_seconds", "end_seconds", "children", "attributes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start_seconds = time.perf_counter()
+        self.end_seconds: float | None = None
+        self.children: list["Span"] = []
+        self.attributes: dict[str, Any] = {}
+
+    def finish(self) -> None:
+        if self.end_seconds is None:
+            self.end_seconds = time.perf_counter()
+
+    @property
+    def finished(self) -> bool:
+        return self.end_seconds is not None
+
+    @property
+    def duration_seconds(self) -> float:
+        end = self.end_seconds if self.end_seconds is not None else time.perf_counter()
+        return end - self.start_seconds
+
+    def set(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def child(self, name: str) -> "Span | None":
+        """First direct child with ``name``, or ``None``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration_seconds * 1e3:.2f}ms" if self.finished else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class Tracer:
+    """Creates and nests spans; mirrors durations into a registry."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        span = Span(name)
+        span.attributes.update(attributes)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.finish()
+            if not self._stack:
+                self.roots.append(span)
+                # Bound retention: drop oldest roots, keep the tail.
+                if len(self.roots) > _MAX_RETAINED_ROOTS:
+                    del self.roots[: len(self.roots) - _MAX_RETAINED_ROOTS]
+            if self.registry is not None:
+                self.registry.histogram(
+                    f"span_{span.name}_seconds",
+                    help=f"wall-clock of the {span.name!r} span",
+                ).observe(span.duration_seconds)
+
+    def last_root(self) -> Span | None:
+        return self.roots[-1] if self.roots else None

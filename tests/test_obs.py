@@ -1,0 +1,488 @@
+"""Tests for the observability layer (repro.obs) and its pipeline wiring.
+
+Covers: histogram quantiles, Prometheus escaping and round-trip, span
+nesting, the contextual registry, the deprecated ClientStats /
+median_latency shims, oracle lookup_batch vs scalar lookup (including a
+hypothesis property for counts), incremental LshIndex.insert
+equivalence, and the CLI --metrics-json path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UniquenessOracle, VisualPrintClient, VisualPrintConfig
+from repro.core.client import ClientStats
+from repro.features.keypoint import KeypointSet
+from repro.lsh import LshIndex
+from repro.network import CHANNEL_PRESETS
+from repro.obs import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    current_registry,
+    parse_prometheus,
+    use_registry,
+)
+from repro.wardrive.environment import random_sift_descriptor
+
+
+@pytest.fixture(scope="module")
+def config():
+    return VisualPrintConfig(descriptor_capacity=20_000, fingerprint_size=20)
+
+
+@pytest.fixture(scope="module")
+def trained_oracle(config, descriptors_1k):
+    oracle = UniquenessOracle(config)
+    for _ in range(5):
+        oracle.insert(descriptors_1k[:100])
+    oracle.insert(descriptors_1k[100:400])
+    return oracle
+
+
+def _keypoints_from(descriptors):
+    n = descriptors.shape[0]
+    return KeypointSet(
+        positions=np.zeros((n, 2), np.float32),
+        scales=np.ones(n, np.float32),
+        orientations=np.zeros(n, np.float32),
+        responses=np.ones(n, np.float32),
+        descriptors=descriptors.astype(np.float32),
+    )
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("frames_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("saturation")
+        gauge.set(0.5)
+        gauge.inc(0.25)
+        gauge.dec(0.5)
+        assert gauge.value == pytest.approx(0.25)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", stage="x") is not registry.counter("a")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+
+    def test_disabled_registry_hands_out_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("a")
+        counter.inc(10)
+        assert counter.value == 0.0
+        histogram = registry.histogram("h")
+        with histogram.time():
+            pass
+        histogram.observe(1.0)
+        assert histogram.count == 0
+        assert len(registry) == 0
+
+
+class TestHistogram:
+    def test_quantiles_on_known_distribution(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.quantile(0.5) == pytest.approx(50.5)
+        assert histogram.quantile(0.9) == pytest.approx(90.1)
+        assert histogram.count == 100
+        assert histogram.sum == pytest.approx(5050.0)
+        assert histogram.mean == pytest.approx(50.5)
+
+    def test_quantile_bounds_checked(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_empty_histogram_quantiles_zero(self):
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantiles() == {0.5: 0.0, 0.9: 0.0, 0.99: 0.0}
+
+    def test_bucket_counts_cumulative_and_inclusive(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        pairs = dict(histogram.bucket_counts())
+        assert pairs[1.0] == 2  # le is inclusive: 0.5 and 1.0
+        assert pairs[2.0] == 3
+        assert pairs[4.0] == 4
+        assert pairs[float("inf")] == 5
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_reservoir_stays_bounded(self):
+        histogram = Histogram("h")
+        for value in range(5000):
+            histogram.observe(float(value))
+        assert len(histogram.values()) == 1024
+        assert histogram.count == 5000
+        # The subsample still summarizes the distribution reasonably.
+        assert 1500 < histogram.quantile(0.5) < 3500
+
+    def test_time_context_manager(self):
+        histogram = Histogram("h")
+        with histogram.time():
+            _ = sum(range(1000))
+        assert histogram.count == 1
+        assert histogram.values()[0] >= 0.0
+
+
+class TestPrometheus:
+    def test_escaping_of_label_values_and_help(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "weird_total",
+            help='has "quotes", back\\slash\nand newline',
+            path='c:\\temp\n"quoted"',
+        ).inc(3)
+        text = registry.to_prometheus()
+        assert '\\"quoted\\"' in text
+        assert "c:\\\\temp\\n" in text
+        assert "# HELP weird_total" in text
+        assert "\\nand newline" in text
+        parsed = parse_prometheus(text)
+        assert parsed == registry.samples()
+        assert parsed[0][1] == (("path", 'c:\\temp\n"quoted"'),)
+
+    def test_round_trip_full_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="a counter").inc(7)
+        registry.gauge("g", help="a gauge").set(-2.5)
+        histogram = registry.histogram("h_seconds", buckets=(0.1, 1.0), stage="sift")
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert "# TYPE h_seconds histogram" in text
+        assert 'h_seconds_bucket{stage="sift",le="+Inf"} 3' in text
+        parsed = parse_prometheus(text)
+        assert parsed == registry.samples()
+
+    def test_infinite_bucket_value_renders(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1e30)  # beyond every finite bucket
+        samples = dict(
+            ((name, labels), value)
+            for name, labels, value in parse_prometheus(registry.to_prometheus())
+        )
+        assert samples[("h_bucket", (("le", "+Inf"),))] == 1.0
+
+
+class TestJsonSnapshot:
+    def test_to_dict_and_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("frames_total").inc(2)
+        registry.histogram("lat_seconds").observe(0.01)
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path))
+        snapshot = json.loads(path.read_text())
+        assert snapshot["counters"]["frames_total"]["value"] == 2
+        histogram = snapshot["histograms"]["lat_seconds"]
+        assert histogram["count"] == 1
+        assert histogram["p50"] == pytest.approx(0.01)
+        assert histogram["buckets"][-1]["count"] == 1
+        assert math.isinf(histogram["buckets"][-1]["le"])
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        assert registry.counter("c").value == 0
+        assert registry.histogram("h").count == 0
+        assert len(registry) == 2
+
+
+class TestSpans:
+    def test_nesting_and_durations(self):
+        tracer = Tracer()
+        with tracer.span("frame") as frame:
+            with tracer.span("sift"):
+                pass
+            with tracer.span("oracle") as oracle_span:
+                with tracer.span("quantize"):
+                    pass
+        assert [child.name for child in frame.children] == ["sift", "oracle"]
+        assert oracle_span.child("quantize") is not None
+        assert frame.finished
+        assert frame.duration_seconds >= sum(
+            child.duration_seconds for child in frame.children
+        ) * 0.5  # children nest inside the parent's wall-clock
+        assert tracer.last_root() is frame
+        assert tracer.current is None
+
+    def test_span_attributes_and_dict(self):
+        tracer = Tracer()
+        with tracer.span("frame", frame_index=3) as span:
+            span.set("keypoints", 42)
+        tree = span.to_dict()
+        assert tree["attributes"] == {"frame_index": 3, "keypoints": 42}
+        assert tree["children"] == []
+
+    def test_tracer_mirrors_into_registry(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.span("frame"):
+            with tracer.span("sift"):
+                pass
+        assert registry.histogram("span_frame_seconds").count == 1
+        assert registry.histogram("span_sift_seconds").count == 1
+
+    def test_sibling_roots_are_retained_in_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [root.name for root in tracer.roots] == ["a", "b"]
+
+
+class TestContextualRegistry:
+    def test_use_registry_scopes(self):
+        registry = MetricsRegistry()
+        assert current_registry() is None
+        with use_registry(registry):
+            assert current_registry() is registry
+            inner = MetricsRegistry()
+            with use_registry(inner):
+                assert current_registry() is inner
+            assert current_registry() is registry
+        assert current_registry() is None
+
+    def test_components_report_into_contextual_registry(self, config, descriptors_1k):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            oracle = UniquenessOracle(config)
+            client = VisualPrintClient(oracle, config)
+        oracle.insert(descriptors_1k[:100])
+        client.fingerprint_keypoints(_keypoints_from(descriptors_1k[:50]))
+        assert client.metrics is registry
+        assert oracle.metrics is registry
+        assert registry.counter("client_frames_total").value == 1
+        assert registry.counter("oracle_descriptors_inserted_total").value == 100
+
+    def test_channel_records_only_under_context(self):
+        channel = CHANNEL_PRESETS["wifi"]
+        channel.transfer_seconds(1000)  # no context: must not blow up
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            channel.transfer_seconds(1000)
+        histogram = registry.get("network_transfer_seconds", channel="wifi")
+        assert histogram is not None and histogram.count == 1
+        counter = registry.get("network_upload_bytes_total", channel="wifi")
+        assert counter.value == 1000
+
+
+class TestClientMetricsApi:
+    def test_latency_quantiles(self, trained_oracle, config, descriptors_1k):
+        client = VisualPrintClient(trained_oracle, config)
+        client.fingerprint_keypoints(_keypoints_from(descriptors_1k[:50]))
+        quantiles = client.latency_quantiles("oracle")
+        assert set(quantiles) == {0.5, 0.9, 0.99}
+        assert quantiles[0.5] > 0.0
+        assert client.latency_quantiles("sift")[0.5] == 0.0  # no sift ran
+        with pytest.raises(ValueError):
+            client.latency_quantiles("gpu")
+
+    def test_upload_accounting(self, trained_oracle, config, descriptors_1k):
+        client = VisualPrintClient(trained_oracle, config)
+        client.fingerprint_keypoints(_keypoints_from(descriptors_1k[:50]))
+        registry = client.metrics
+        assert registry.counter("client_keypoints_uploaded_total").value == 20
+        assert registry.counter("client_upload_bytes_total").value > 0
+        assert registry.histogram("client_upload_bytes").count == 1
+        assert registry.histogram("client_serialize_seconds").count == 1
+
+    def test_frame_spans_nest_stages(self, trained_oracle, config, descriptors_1k):
+        client = VisualPrintClient(trained_oracle, config)
+        image = np.zeros((32, 32), dtype=np.float64)
+        client.process_frame(image, frame_index=5)
+        root = client.tracer.last_root()
+        assert root.name == "frame"
+        assert root.attributes["frame_index"] == 5
+        assert root.child("sift") is not None
+        assert root.child("serialize") is not None
+
+
+class TestDeprecatedShims:
+    def test_stats_property_warns(self, trained_oracle, config):
+        client = VisualPrintClient(trained_oracle, config)
+        with pytest.warns(DeprecationWarning, match="client.metrics"):
+            client.stats
+
+    def test_stats_fields_track_registry(self, trained_oracle, config, descriptors_1k):
+        client = VisualPrintClient(trained_oracle, config)
+        client.fingerprint_keypoints(_keypoints_from(descriptors_1k[:50]))
+        client.fingerprint_keypoints(_keypoints_from(descriptors_1k[50:100]))
+        with pytest.warns(DeprecationWarning):
+            assert client.stats.frames_processed == 2
+        with pytest.warns(DeprecationWarning):
+            assert client.stats.keypoints_extracted == 100
+        with pytest.warns(DeprecationWarning):
+            assert client.stats.bytes_uploaded > 0
+        with pytest.warns(DeprecationWarning):
+            assert len(client.stats.oracle_seconds) == 2
+
+    def test_median_latency_warns_and_matches_quantiles(
+        self, trained_oracle, config, descriptors_1k
+    ):
+        client = VisualPrintClient(trained_oracle, config)
+        client.fingerprint_keypoints(_keypoints_from(descriptors_1k[:50]))
+        with pytest.warns(DeprecationWarning, match="latency_quantiles"):
+            median = client.median_latency("oracle")
+        assert median == client.latency_quantiles("oracle")[0.5]
+        with pytest.raises(ValueError):
+            client.median_latency("gpu")
+
+    def test_standalone_clientstats_reads_empty_registry(self):
+        stats = ClientStats()
+        with pytest.warns(DeprecationWarning):
+            assert stats.frames_processed == 0
+
+
+class TestOracleLookupBatch:
+    def test_batch_matches_scalar(self, trained_oracle, descriptors_1k):
+        batch = descriptors_1k[:40]
+        batched = trained_oracle.lookup_batch(batch)
+        for row, result in enumerate(batched):
+            assert result == trained_oracle.lookup(batch[row])
+
+    def test_empty_batch(self, trained_oracle):
+        assert trained_oracle.lookup_batch(np.empty((0, 128), np.float32)) == []
+
+    def test_rejects_non_2d(self, trained_oracle, descriptors_1k):
+        with pytest.raises(ValueError):
+            trained_oracle.lookup_batch(descriptors_1k[0])
+
+    def test_lookup_instrumentation(self, config, descriptors_1k):
+        oracle = UniquenessOracle(config, registry=MetricsRegistry())
+        oracle.insert(descriptors_1k[:200])
+        oracle.lookup_batch(descriptors_1k[:25])
+        registry = oracle.metrics
+        assert registry.counter("oracle_lookups_total").value == 25
+        assert registry.histogram("oracle_lookup_seconds").count == 1
+        assert registry.counter("oracle_descriptors_inserted_total").value == 200
+        assert 0.0 <= registry.gauge("oracle_counter_saturation").value <= 1.0
+
+    @given(seed=st.integers(0, 2**31 - 1), count=st.integers(1, 12))
+    @settings(max_examples=15, deadline=None)
+    def test_counts_equals_lookup_count_property(self, seed, count):
+        """Vectorized counts(D)[i] agrees with scalar lookup(D[i]).count."""
+        rng = np.random.default_rng(seed)
+        config = VisualPrintConfig(descriptor_capacity=5_000)
+        oracle = UniquenessOracle(config)
+        oracle.insert(
+            np.array([random_sift_descriptor(rng) for _ in range(100)])
+        )
+        queries = np.array([random_sift_descriptor(rng) for _ in range(count)])
+        counts = oracle.counts(queries)
+        batched = oracle.lookup_batch(queries)
+        for row in range(count):
+            assert counts[row] == oracle.lookup(queries[row]).count
+            assert batched[row].count == counts[row]
+
+
+class TestLshIncrementalInsert:
+    def test_insert_matches_build(self, descriptors_1k):
+        built = LshIndex(seed=3)
+        built.build(descriptors_1k, np.arange(1000))
+
+        incremental = LshIndex(seed=3)
+        for start in range(0, 1000, 130):
+            chunk = descriptors_1k[start : start + 130]
+            incremental.insert(
+                chunk, np.arange(start, start + chunk.shape[0])
+            )
+
+        assert incremental.size == built.size == 1000
+        queries = descriptors_1k[::97]
+        for built_matches, incremental_matches in zip(
+            built.query_batch(queries, num_neighbors=3),
+            incremental.query_batch(queries, num_neighbors=3),
+        ):
+            assert built_matches == incremental_matches
+
+    def test_insert_validates_shapes(self, descriptors_1k):
+        index = LshIndex(seed=3)
+        with pytest.raises(ValueError):
+            index.insert(descriptors_1k[:10], np.arange(9))
+        index.insert(descriptors_1k[:10], np.arange(10))
+        with pytest.raises(ValueError):
+            index.insert(np.zeros((4, 64), np.float32), np.arange(4))
+
+    def test_empty_insert_is_noop(self):
+        index = LshIndex(seed=3)
+        index.insert(np.empty((0, 128), np.float32), np.empty(0, np.int64))
+        assert index.size == 0
+        with pytest.raises(RuntimeError):
+            index.query(np.zeros(128, np.float32))
+
+    def test_memory_accounting_after_inserts(self, descriptors_1k):
+        index = LshIndex(seed=3)
+        index.insert(descriptors_1k[:500], np.arange(500))
+        assert index.memory_bytes() > descriptors_1k[:500].astype(np.float32).nbytes
+
+
+class TestCliMetrics:
+    def test_fig16_fast_writes_metrics_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_path = tmp_path / "out.json"
+        prom_path = tmp_path / "out.prom"
+        assert (
+            main(
+                [
+                    "fig16",
+                    "--fast",
+                    "--metrics-json",
+                    str(json_path),
+                    "--metrics-prom",
+                    str(prom_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "=== metrics" in out
+        snapshot = json.loads(json_path.read_text())
+        histograms = snapshot["histograms"]
+        assert histograms["client_sift_seconds"]["count"] > 0
+        assert histograms["client_oracle_seconds"]["count"] > 0
+        transfer_keys = [k for k in histograms if k.startswith("network_transfer_seconds")]
+        assert transfer_keys and histograms[transfer_keys[0]]["count"] > 0
+        assert snapshot["counters"]["client_upload_bytes_total"]["value"] > 0
+        # The Prometheus rendering round-trips the same registry.
+        parsed = parse_prometheus(prom_path.read_text())
+        by_name = {name for name, _, _ in parsed}
+        assert "client_sift_seconds_bucket" in by_name
+        assert "client_upload_bytes_total" in by_name
