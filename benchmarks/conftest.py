@@ -10,9 +10,18 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import platform
+from pathlib import Path
+
 import pytest
 
 from repro.obs import MetricsRegistry, use_registry
+from repro.parallel import default_workers
+
+# Session-wide trajectory rows collected by bench_parallel.py; written to
+# BENCH_parallel.json at session end so future PRs can track the curve.
+_PARALLEL_TRAJECTORY: dict[str, dict] = {}
 
 
 def pytest_addoption(parser):
@@ -40,3 +49,29 @@ def metrics_registry():
     registry = MetricsRegistry()
     with use_registry(registry):
         yield registry
+
+
+@pytest.fixture(scope="session")
+def parallel_trajectory() -> dict[str, dict]:
+    """Mutable dict the parallel benchmarks fill with timing rows."""
+    return _PARALLEL_TRAJECTORY
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit BENCH_parallel.json when the parallel benchmarks ran.
+
+    Wall-clock numbers are host-dependent; ``host_cpus`` records how
+    much parallel hardware produced them, so a 1-core CI runner's
+    pool-overhead numbers aren't mistaken for a regression against a
+    16-core workstation's.
+    """
+    if not _PARALLEL_TRAJECTORY:
+        return
+    payload = {
+        "host_cpus": default_workers(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "benchmarks": dict(sorted(_PARALLEL_TRAJECTORY.items())),
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

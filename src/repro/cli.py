@@ -51,6 +51,9 @@ _EXPERIMENTS = {
     "takeaways": takeaways_exp,
 }
 
+# Experiments whose run()/main() accept a workers= fan-out parameter.
+_WORKERS_AWARE = {"fig13", "fig14", "fig16", "latency"}
+
 _FAST_PARAMS: dict[str, dict] = {
     "fig3": dict(num_images=12, image_size=160),
     "fig5": dict(num_images=12, image_size=160),
@@ -132,6 +135,15 @@ def main(argv: list[str] | None = None) -> int:
         help="shrink workloads for a quick (less faithful) run",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool width for experiments with parallel hot paths "
+        f"({', '.join(sorted(_WORKERS_AWARE))}); results are bit-identical "
+        "to --workers 1 (0 = all available cores)",
+    )
+    parser.add_argument(
         "--metrics-json",
         metavar="PATH",
         default=None,
@@ -146,17 +158,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    workers = args.workers
+    if workers == 0:
+        from repro.parallel import default_workers
+
+        workers = default_workers()
+
     registry = MetricsRegistry()
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     with use_registry(registry):
         for name in names:
             module = _EXPERIMENTS[name]
+            extra = {"workers": workers} if name in _WORKERS_AWARE else {}
             print(f"=== {name} " + "=" * max(1, 60 - len(name)))
             if args.fast and name in _FAST_PARAMS:
-                result = module.run(**_FAST_PARAMS[name])
+                result = module.run(**_FAST_PARAMS[name], **extra)
                 _print_summary(result)
             else:
-                module.main()
+                module.main(**extra)
             print()
 
     if args.metrics_json or args.metrics_prom:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -36,11 +37,52 @@ from repro.bloom.verification import VerificationBloomFilter
 from repro.core.config import VisualPrintConfig
 from repro.hashing.families import Murmur3Family
 from repro.lsh.buckets import QuantizedBuckets
-from repro.lsh.multiprobe import perturbation_sets
+from repro.lsh.multiprobe import perturbation_sets, ranked_perturbations
 from repro.lsh.projections import StableProjections
 from repro.obs import MetricsRegistry, resolve_registry
 
 __all__ = ["OracleLookup", "UniquenessOracle"]
+
+
+def _build_hasher(
+    config: VisualPrintConfig,
+) -> tuple[StableProjections, list[Murmur3Family]]:
+    """The (projections, per-table hash families) pair for one config."""
+    projections = StableProjections(config.lsh, seed=config.seed)
+    families = [
+        Murmur3Family(
+            num_hashes=config.bloom_hashes,
+            table_size=config.num_counters,
+            base_seed=config.seed + 1000 + table * config.bloom_hashes,
+        )
+        for table in range(config.lsh.num_tables)
+    ]
+    return projections, families
+
+
+# Per-process cache for pool workers: rebuilding the projections for every
+# wardrive batch would dominate the hashing work they parallelize.
+_WORKER_HASHERS: dict[VisualPrintConfig, tuple[StableProjections, list[Murmur3Family]]] = {}
+
+
+def _hash_wardrive_batch(
+    config: VisualPrintConfig, descriptors: np.ndarray
+) -> list[np.ndarray]:
+    """Quantize + hash one ingest batch (the CPU-bound part of insert).
+
+    Pure function of (config, descriptors) so it can run in any pool
+    worker; returns the per-table ``(n, K)`` counter-index arrays the
+    parent applies to its filters.
+    """
+    cached = _WORKER_HASHERS.get(config)
+    if cached is None:
+        cached = _WORKER_HASHERS[config] = _build_hasher(config)
+    projections, families = cached
+    quantized = QuantizedBuckets(projections.quantize(descriptors))
+    return [
+        family.indices(quantized.table_vectors(table))
+        for table, family in enumerate(families)
+    ]
 
 
 @dataclass(frozen=True)
@@ -62,7 +104,9 @@ class UniquenessOracle:
     ) -> None:
         self.config = config or VisualPrintConfig()
         cfg = self.config
-        self.projections = StableProjections(cfg.lsh, seed=cfg.seed)
+        # One Murmur-3 family per LSH table so tables probe independent
+        # positions of the shared counter array.
+        self.projections, self._families = _build_hasher(cfg)
         self.counting = CountingBloomFilter(
             num_counters=cfg.num_counters,
             num_hashes=cfg.bloom_hashes,
@@ -72,16 +116,6 @@ class UniquenessOracle:
         self.verification = VerificationBloomFilter(
             num_bits=cfg.verification_bits, seed=cfg.seed + 202
         )
-        # One Murmur-3 family per LSH table so tables probe independent
-        # positions of the shared counter array.
-        self._families = [
-            Murmur3Family(
-                num_hashes=cfg.bloom_hashes,
-                table_size=cfg.num_counters,
-                base_seed=cfg.seed + 1000 + table * cfg.bloom_hashes,
-            )
-            for table in range(cfg.lsh.num_tables)
-        ]
         self._inserted = 0
         self._registry = resolve_registry(registry)
         # Instrument handles are bound once: the counts() hot path pays
@@ -135,24 +169,60 @@ class UniquenessOracle:
         counters = self.counting.counters
         return float((counters >= self.counting.saturation).mean())
 
-    def insert(self, descriptors: np.ndarray, batch_size: int = 20_000) -> None:
-        """Index descriptors: bump K counters per table per descriptor."""
+    def insert(
+        self,
+        descriptors: np.ndarray,
+        batch_size: int = 20_000,
+        workers: int = 1,
+    ) -> None:
+        """Index descriptors: bump K counters per table per descriptor.
+
+        With ``workers > 1`` the CPU-bound half of ingest — quantizing
+        and Murmur-hashing each wardrive batch — fans out across a
+        :func:`repro.parallel.parallel_map` pool; the returned counter
+        indices are applied to the shared filters serially in batch
+        order.  Counter saturation and Bloom bit-sets are commutative,
+        so the final filter state is identical to a serial ingest.
+        """
         descriptors = np.asarray(descriptors, dtype=np.float32)
         if descriptors.ndim != 2:
             raise ValueError(f"descriptors must be 2-D, got {descriptors.shape}")
+        batches = [
+            descriptors[start : start + batch_size]
+            for start in range(0, descriptors.shape[0], batch_size)
+        ]
         with self._m_insert_seconds.time():
-            for start in range(0, descriptors.shape[0], batch_size):
-                self._insert_batch(descriptors[start : start + batch_size])
+            if workers > 1 and len(batches) > 1:
+                from repro.parallel import parallel_map
+
+                hashed = parallel_map(
+                    partial(_hash_wardrive_batch, self.config),
+                    batches,
+                    workers=workers,
+                )
+                for batch, table_indices in zip(batches, hashed):
+                    self._apply_hashed(table_indices, batch.shape[0])
+            else:
+                for batch in batches:
+                    self._insert_batch(batch)
         self._m_inserted_total.inc(descriptors.shape[0])
         self._m_saturation.set(self.saturation_ratio())
 
     def _insert_batch(self, descriptors: np.ndarray) -> None:
         quantized = QuantizedBuckets(self.projections.quantize(descriptors))
+        table_indices = [
+            family.indices(quantized.table_vectors(table))
+            for table, family in enumerate(self._families)
+        ]
+        self._apply_hashed(table_indices, descriptors.shape[0])
+
+    def _apply_hashed(
+        self, table_indices: list[np.ndarray], num_descriptors: int
+    ) -> None:
+        """Apply precomputed per-table ``(n, K)`` indices to the filters."""
         saturation = self.counting.saturation
         counters = self.counting.counters
-        for table, family in enumerate(self._families):
-            vectors = quantized.table_vectors(table)
-            indices = family.indices(vectors)  # (n, K)
+        for indices in table_indices:
             flat = indices.ravel()
             increments = np.zeros(self.counting.num_counters, dtype=np.int64)
             np.add.at(increments, flat, 1)
@@ -160,7 +230,7 @@ class UniquenessOracle:
             summed = counters[touched].astype(np.int64) + increments[touched]
             counters[touched] = np.minimum(summed, saturation).astype(np.uint16)
             self.verification.add(indices)
-        self._inserted += descriptors.shape[0]
+        self._inserted += num_descriptors
 
     # ------------------------------------------------------------------
     # Lookup
@@ -220,10 +290,83 @@ class UniquenessOracle:
         negative case); either way the verification filter must confirm
         the probe's position tuple.
 
-        Quantization (projections + residuals) and the count estimate
-        run once, vectorized across the whole batch; only the per-table
-        probe walk is per-descriptor.  Prefer this over looping
-        :meth:`lookup`.
+        Fully vectorized: per table, the perturbation schedules for the
+        whole batch come from one ranked argsort
+        (:func:`repro.lsh.multiprobe.ranked_perturbations`), every probe
+        of every descriptor is Murmur-hashed in one
+        ``(n * (P + 1), M)`` pass, and counters resolve with one gather.
+        The scalar walk stopped at the first accepting probe per table;
+        here all probes are evaluated and the first accept selected by
+        ``argmax`` — same outcome, including which vetoes are counted
+        (only those before the first accept).  Bit-equivalent to
+        :meth:`_lookup_batch_scalar`, the retained reference
+        implementation.
+        """
+        start = time.perf_counter()
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        if descriptors.ndim != 2:
+            raise ValueError(f"descriptors must be 2-D, got {descriptors.shape}")
+        num = descriptors.shape[0]
+        if num == 0:
+            return []
+        buckets, residuals = self.projections.quantize_with_residuals(descriptors)
+        quantized = QuantizedBuckets(buckets)
+        counts = self._counts_from_quantized(quantized)
+        counters = self.counting.counters
+        num_hashes = self.config.bloom_hashes
+        quorum = (self.config.lsh.num_tables + 1) // 2
+        accepting_tables = np.zeros(num, dtype=np.int64)
+        used_multiprobe = np.zeros(num, dtype=bool)
+        multiprobe_accepts = 0
+        verification_vetoes = 0
+        for table, family in enumerate(self._families):
+            projections, deltas = ranked_perturbations(
+                residuals[:, table, :], self.config.max_probes_per_table
+            )
+            probes = quantized.probe_vectors(table, projections, deltas)
+            num_slots = probes.shape[1]  # original + P perturbations
+            indices = family.indices(probes.reshape(num * num_slots, -1))
+            probed = counters[indices]
+            nonzero = (probed > 0).sum(axis=1)
+            match = (nonzero == num_hashes) | (nonzero == num_hashes - 1)
+            verified = self.verification.verify(indices)
+            accept = (match & verified).reshape(num, num_slots)
+            veto = (match & ~verified).reshape(num, num_slots)
+            any_accept = accept.any(axis=1)
+            first_accept = np.argmax(accept, axis=1)
+            # Vetoes are only observed up to (not including) the first
+            # accepting probe — the scalar walk broke out there.
+            cutoff = np.where(any_accept, first_accept, num_slots)
+            slot_index = np.arange(num_slots)[np.newaxis, :]
+            verification_vetoes += int(
+                (veto & (slot_index < cutoff[:, np.newaxis])).sum()
+            )
+            perturbed_accept = any_accept & (first_accept > 0)
+            accepting_tables += any_accept
+            used_multiprobe |= perturbed_accept
+            multiprobe_accepts += int(perturbed_accept.sum())
+        results = [
+            OracleLookup(
+                count=int(counts[row]),
+                present=bool(accepting_tables[row] >= quorum),
+                used_multiprobe=bool(used_multiprobe[row]),
+            )
+            for row in range(num)
+        ]
+        self._m_lookup_seconds.observe(time.perf_counter() - start)
+        self._m_lookups_total.inc(num)
+        if multiprobe_accepts:
+            self._m_multiprobe_accepts.inc(multiprobe_accepts)
+        if verification_vetoes:
+            self._m_verification_vetoes.inc(verification_vetoes)
+        return results
+
+    def _lookup_batch_scalar(self, descriptors: np.ndarray) -> list[OracleLookup]:
+        """Reference per-row implementation of :meth:`lookup_batch`.
+
+        The pre-vectorization probe walk, kept (a) as the ground truth
+        the property tests compare the vectorized path against and (b)
+        as the baseline the ``bench_parallel`` trajectory measures.
         """
         start = time.perf_counter()
         descriptors = np.asarray(descriptors, dtype=np.float32)

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.features import KeypointSet, SiftExtractor, SiftParams
 from repro.imaging.synth import SceneLibrary
+from repro.parallel import get_shared, parallel_map
 
 __all__ = ["RetrievalWorkload", "build_workload"]
 
@@ -122,6 +123,25 @@ def _load_workload(path: Path) -> RetrievalWorkload:
         )
 
 
+def _extract_task(task: tuple) -> KeypointSet:
+    """Render one image and extract its keypoints (pool worker body).
+
+    Rendering happens inside the worker: :class:`SceneLibrary` draws
+    every image from a named per-index RNG stream, so each task is a
+    pure function of ``(library params, task)`` and the output is
+    bit-identical regardless of which worker runs it.
+    """
+    library, extractor = get_shared()
+    kind = task[0]
+    if kind == "scene":
+        image = library.scene(task[1])
+    elif kind == "distractor":
+        image = library.distractor(task[1])
+    else:  # ("query", scene_index, view_index)
+        image = library.query_view(task[1], task[2])
+    return extractor.extract(image)
+
+
 def build_workload(
     seed: int = 7,
     num_scenes: int = 100,
@@ -131,8 +151,15 @@ def build_workload(
     contrast_threshold: float = 0.008,
     cache_dir: str | Path | None = ".cache",
     verbose: bool = False,
+    workers: int = 1,
 ) -> RetrievalWorkload:
-    """Build (or load from cache) the retrieval workload."""
+    """Build (or load from cache) the retrieval workload.
+
+    ``workers > 1`` renders and extracts the images across a process
+    pool (:func:`repro.parallel.parallel_map`).  ``workers`` is not part
+    of the cache key: the parallel build is bit-identical to the serial
+    one, so both populate and hit the same ``.npz`` entry.
+    """
     params = dict(
         seed=seed,
         num_scenes=num_scenes,
@@ -157,24 +184,32 @@ def build_workload(
     )
     extractor = SiftExtractor(SiftParams(contrast_threshold=contrast_threshold))
 
-    database_keypoints: list[KeypointSet] = []
-    database_labels: list[int] = []
-    for label, image in library.all_database_images():
-        database_keypoints.append(extractor.extract(image))
-        database_labels.append(label)
-        if verbose and len(database_labels) % 50 == 0:
-            print(f"  extracted {len(database_labels)} database images")
-
-    query_keypoints: list[KeypointSet] = []
-    query_labels: list[int] = []
-    for scene in range(num_scenes):
-        for view in range(views_per_scene):
-            query_keypoints.append(
-                extractor.extract(library.query_view(scene, view))
-            )
-            query_labels.append(scene)
-        if verbose and (scene + 1) % 20 == 0:
-            print(f"  extracted queries for {scene + 1} scenes")
+    database_tasks: list[tuple] = [
+        ("scene", index) for index in range(num_scenes)
+    ] + [("distractor", index) for index in range(num_distractors)]
+    query_tasks: list[tuple] = [
+        ("query", scene, view)
+        for scene in range(num_scenes)
+        for view in range(views_per_scene)
+    ]
+    if verbose:
+        print(
+            f"  extracting {len(database_tasks)} database + "
+            f"{len(query_tasks)} query images (workers={workers})"
+        )
+    extracted = parallel_map(
+        _extract_task,
+        database_tasks + query_tasks,
+        workers=workers,
+        shared=(library, extractor),
+    )
+    database_keypoints = extracted[: len(database_tasks)]
+    query_keypoints = extracted[len(database_tasks) :]
+    database_labels = [
+        index if kind == "scene" else DISTRACTOR_LABEL
+        for kind, index in database_tasks
+    ]
+    query_labels = [scene for _, scene, _ in query_tasks]
 
     workload = RetrievalWorkload(
         database_keypoints=database_keypoints,

@@ -40,8 +40,14 @@ def run(
     min_votes: int = 5,
     include_bruteforce: bool = True,
     cache_dir: str | None = ".cache",
+    workers: int = 1,
 ) -> dict:
-    """Returns per-scheme precision/recall value arrays (CDF inputs)."""
+    """Returns per-scheme precision/recall value arrays (CDF inputs).
+
+    ``workers`` fans out the three serial hot paths — workload
+    extraction, oracle wardrive ingest, and each scheme's query loop —
+    across a process pool; results are bit-identical to ``workers=1``.
+    """
     workload = build_workload(
         seed=seed,
         num_scenes=num_scenes,
@@ -49,23 +55,45 @@ def run(
         views_per_scene=views_per_scene,
         image_size=image_size,
         cache_dir=cache_dir,
+        workers=workers,
     )
     database = build_scene_database(workload)
-    oracle = build_oracle(workload)
+    oracle = build_oracle(workload, workers=workers)
     matcher = LshMatcher(database.descriptors)
 
     results = [
-        run_random(workload, database, matcher, count=random_count, min_votes=min_votes),
-        run_visualprint(
-            workload, database, matcher, oracle, count=small_count, min_votes=min_votes
+        run_random(
+            workload,
+            database,
+            matcher,
+            count=random_count,
+            min_votes=min_votes,
+            workers=workers,
         ),
         run_visualprint(
-            workload, database, matcher, oracle, count=large_count, min_votes=min_votes
+            workload,
+            database,
+            matcher,
+            oracle,
+            count=small_count,
+            min_votes=min_votes,
+            workers=workers,
         ),
-        run_lsh(workload, database, matcher, min_votes=min_votes),
+        run_visualprint(
+            workload,
+            database,
+            matcher,
+            oracle,
+            count=large_count,
+            min_votes=min_votes,
+            workers=workers,
+        ),
+        run_lsh(workload, database, matcher, min_votes=min_votes, workers=workers),
     ]
     if include_bruteforce:
-        results.append(run_bruteforce(workload, database, min_votes=min_votes))
+        results.append(
+            run_bruteforce(workload, database, min_votes=min_votes, workers=workers)
+        )
     cdfs = evaluate_scheme_cdfs(results, database)
     return {
         "cdfs": cdfs,
@@ -77,8 +105,8 @@ def run(
     }
 
 
-def main() -> None:
-    result = run()
+def main(workers: int = 1, **overrides) -> None:
+    result = run(workers=workers, **overrides)
     print("Figure 13: per-scene precision/recall by scheme")
     print(
         f"(database: {result['num_database_descriptors']} descriptors, "

@@ -17,8 +17,23 @@ from repro.features import SiftExtractor, SiftParams
 from repro.imaging import to_float, to_uint8
 from repro.imaging.synth import SceneLibrary
 from repro.network import CHANNEL_PRESETS, simulate_stream
+from repro.parallel import get_shared, parallel_map
 
 __all__ = ["run", "main"]
+
+
+def _extract_frame(frame: np.ndarray):
+    """Extract one panning frame's keypoints (pool worker body)."""
+    return get_shared().extract(to_float(frame))
+
+
+def _make_fingerprint_client() -> VisualPrintClient:
+    oracle, config = get_shared()
+    return VisualPrintClient(oracle, config)
+
+
+def _fingerprint_frame(keypoints, client: VisualPrintClient) -> int:
+    return client.fingerprint_keypoints(keypoints).upload_bytes
 
 
 def run(
@@ -31,8 +46,14 @@ def run(
     image_size: int = 320,
     num_panning_frames: int = 24,
     channel: str = "wifi",
+    workers: int = 1,
 ) -> dict:
-    """Returns the two cumulative-upload traces and their totals."""
+    """Returns the two cumulative-upload traces and their totals.
+
+    ``workers`` fans frame extraction, wardrive ingest, and per-frame
+    fingerprinting across a process pool; payload sequences are
+    bit-identical to ``workers=1``.
+    """
     library = SceneLibrary(
         seed=seed, num_scenes=2, num_distractors=2, size=(image_size, image_size)
     )
@@ -49,13 +70,19 @@ def run(
     )
     oracle = UniquenessOracle(config)
     extractor = SiftExtractor(SiftParams(contrast_threshold=0.008))
-    keypoint_sets = [extractor.extract(to_float(frame)) for frame in frames]
-    oracle.insert(np.vstack([k.descriptors for k in keypoint_sets]))
-    client = VisualPrintClient(oracle, config)
-    fingerprint_payloads = [
-        client.fingerprint_keypoints(keypoints).upload_bytes
-        for keypoints in keypoint_sets
-    ]
+    keypoint_sets = parallel_map(
+        _extract_frame, frames, workers=workers, shared=extractor
+    )
+    oracle.insert(
+        np.vstack([k.descriptors for k in keypoint_sets]), workers=workers
+    )
+    fingerprint_payloads = parallel_map(
+        _fingerprint_frame,
+        keypoint_sets,
+        workers=workers,
+        shared=(oracle, config),
+        chunk_setup=_make_fingerprint_client,
+    )
 
     total_frames = int(duration_seconds * capture_fps)
     frame_cycle = [frame_payloads[i % len(frame_payloads)] for i in range(total_frames)]
@@ -79,8 +106,8 @@ def run(
     }
 
 
-def main() -> None:
-    result = run()
+def main(workers: int = 1, **overrides) -> None:
+    result = run(workers=workers, **overrides)
     print("Figure 14: cumulative upload (MB) over time")
     print(f"{'t(s)':>5} {'frame-upload':>13} {'visualprint':>12}")
     for t, frame_mb, vp_mb in zip(

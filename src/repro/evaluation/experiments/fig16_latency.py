@@ -21,9 +21,26 @@ from repro.core import UniquenessOracle, VisualPrintClient, VisualPrintConfig
 from repro.features import SiftExtractor, SiftParams
 from repro.imaging.synth import SceneLibrary
 from repro.network import CHANNEL_PRESETS
+from repro.obs import resolve_registry
+from repro.parallel import get_shared, parallel_map
 from repro.util.rng import rng_for
 
 __all__ = ["run", "main"]
+
+
+def _make_client() -> tuple:
+    """Per-chunk setup: a client whose metrics merge back to the parent."""
+    library, oracle, config = get_shared()
+    return library, VisualPrintClient(oracle, config)
+
+
+def _process_frame(frame: int, context: tuple) -> int:
+    """Fingerprint one frame; returns its upload payload size."""
+    library, client = context
+    scene = frame % library.num_scenes
+    view = frame % library.views_per_scene
+    fingerprint = client.process_frame(library.query_view(scene, view), frame)
+    return fingerprint.upload_bytes
 
 
 def run(
@@ -32,8 +49,17 @@ def run(
     image_size: int = 320,
     fingerprint_size: int = 200,
     channel: str = "wifi",
+    workers: int = 1,
 ) -> dict:
-    """Returns per-frame SIFT, oracle, and transfer latency samples."""
+    """Returns per-frame SIFT, oracle, and transfer latency samples.
+
+    ``workers`` fans the frame loop across a process pool; each worker
+    constructs its own :class:`VisualPrintClient` (in ``chunk_setup``)
+    so the per-frame latency histograms merge back into this run's
+    registry in deterministic chunk order.  Transfer jitter is applied
+    in the parent, consuming the rng stream sequentially, so the
+    transfer samples match a serial run exactly.
+    """
     library = SceneLibrary(
         seed=seed,
         num_scenes=max(2, num_frames // 3),
@@ -44,7 +70,6 @@ def run(
         descriptor_capacity=200_000, fingerprint_size=fingerprint_size
     )
     oracle = UniquenessOracle(config)
-    client = VisualPrintClient(oracle, config)
 
     # Seed the oracle with database content using a standalone extractor
     # so the warm-up frames never pollute the client's latency metrics.
@@ -54,17 +79,22 @@ def run(
         if len(keypoints):
             oracle.insert(keypoints.descriptors)
 
+    registry = resolve_registry(None)
+    upload_bytes = parallel_map(
+        _process_frame,
+        range(num_frames),
+        workers=workers,
+        shared=(library, oracle, config),
+        chunk_setup=_make_client,
+        registry=registry,
+    )
+
     uplink = CHANNEL_PRESETS[channel]
     rng = rng_for(seed, "fig16/jitter")
-    transfer = []
-    for frame in range(num_frames):
-        scene = frame % library.num_scenes
-        view = frame % library.views_per_scene
-        fingerprint = client.process_frame(library.query_view(scene, view), frame)
-        transfer.append(uplink.transfer_seconds(fingerprint.upload_bytes, rng))
+    transfer = [uplink.transfer_seconds(size, rng) for size in upload_bytes]
 
-    sift = np.array(client.metrics.histogram("client_sift_seconds").values())
-    oracle_t = np.array(client.metrics.histogram("client_oracle_seconds").values())
+    sift = np.array(registry.histogram("client_sift_seconds").values())
+    oracle_t = np.array(registry.histogram("client_oracle_seconds").values())
     return {
         "sift_seconds": sift,
         "oracle_seconds": oracle_t,
@@ -76,8 +106,8 @@ def run(
     }
 
 
-def main() -> None:
-    result = run()
+def main(workers: int = 1, **overrides) -> None:
+    result = run(workers=workers, **overrides)
     print("Figure 16: client compute latency CDF (this host)")
     for q in (10, 50, 90):
         print(

@@ -21,12 +21,36 @@ import numpy as np
 from repro.codecs import PngCodec
 from repro.core import UniquenessOracle, VisualPrintClient, VisualPrintConfig
 from repro.features import SiftExtractor, SiftParams
-from repro.imaging import to_float, to_uint8
+from repro.imaging import to_uint8
 from repro.imaging.synth import SceneLibrary
 from repro.network import CHANNEL_PRESETS
+from repro.parallel import get_shared, parallel_map
 from repro.util.rng import rng_for
 
 __all__ = ["run", "main"]
+
+
+def _make_frame_worker() -> tuple:
+    """Per-chunk setup: library + a private client + a PNG codec."""
+    library, oracle, config = get_shared()
+    return library, VisualPrintClient(oracle, config), PngCodec()
+
+
+def _measure_frame(frame_index: int, context: tuple) -> tuple[int, int, float]:
+    """One frame's (png bytes, fingerprint bytes, compute seconds)."""
+    library, client, codec = context
+    image = library.query_view(
+        frame_index % library.num_scenes, frame_index % library.views_per_scene
+    )
+    fingerprint = client.process_frame(image, frame_index)
+    # Per-frame stage timings come from the client's trace: the
+    # "frame" root span nests one "sift" and one "oracle" child.
+    frame_span = client.tracer.last_root()
+    compute = (
+        frame_span.child("sift").duration_seconds
+        + frame_span.child("oracle").duration_seconds
+    )
+    return len(codec.encode(to_uint8(image))), fingerprint.upload_bytes, compute
 
 
 def run(
@@ -35,8 +59,15 @@ def run(
     image_size: int = 256,
     fingerprint_size: int = 50,
     server_seconds: float = 0.05,
+    workers: int = 1,
 ) -> dict:
-    """Returns per-channel latency samples for both offload schemes."""
+    """Returns per-channel latency samples for both offload schemes.
+
+    ``workers`` fans the frame measurement loop across a process pool
+    (payload sizes are bit-identical to serial; compute timings are
+    wall-clock and vary run to run either way).  Channel jitter is
+    applied in the parent, consuming its rng stream sequentially.
+    """
     library = SceneLibrary(
         seed=seed, num_scenes=4, num_distractors=4, size=(image_size, image_size)
     )
@@ -49,26 +80,17 @@ def run(
         keypoints = extractor.extract(library.scene(scene))
         if len(keypoints):
             oracle.insert(keypoints.descriptors)
-    client = VisualPrintClient(oracle, config)
-    codec = PngCodec()
 
-    frame_bytes: list[int] = []
-    fingerprint_bytes: list[int] = []
-    compute_seconds: list[float] = []
-    for frame_index in range(num_frames):
-        image = library.query_view(
-            frame_index % library.num_scenes, frame_index % library.views_per_scene
-        )
-        fingerprint = client.process_frame(image, frame_index)
-        fingerprint_bytes.append(fingerprint.upload_bytes)
-        frame_bytes.append(len(codec.encode(to_uint8(image))))
-        # Per-frame stage timings come from the client's trace: the
-        # "frame" root span nests one "sift" and one "oracle" child.
-        frame_span = client.tracer.last_root()
-        compute_seconds.append(
-            frame_span.child("sift").duration_seconds
-            + frame_span.child("oracle").duration_seconds
-        )
+    measurements = parallel_map(
+        _measure_frame,
+        range(num_frames),
+        workers=workers,
+        shared=(library, oracle, config),
+        chunk_setup=_make_frame_worker,
+    )
+    frame_bytes = [m[0] for m in measurements]
+    fingerprint_bytes = [m[1] for m in measurements]
+    compute_seconds = [m[2] for m in measurements]
 
     rng = rng_for(seed, "latency-e2e")
     latencies: dict[str, dict[str, np.ndarray]] = {}
@@ -102,8 +124,8 @@ def run(
     }
 
 
-def main() -> None:
-    result = run()
+def main(workers: int = 1, **overrides) -> None:
+    result = run(workers=workers, **overrides)
     print("End-to-end query latency by channel (median seconds)")
     print(
         f"payloads: frame {result['mean_frame_bytes'] / 1024:.0f} KB, "

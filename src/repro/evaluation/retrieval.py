@@ -21,6 +21,7 @@ from repro.matching import (
     random_subselect,
     vote_scene,
 )
+from repro.parallel import get_shared, parallel_map
 from repro.util.rng import rng_for
 
 __all__ = [
@@ -41,7 +42,9 @@ def build_scene_database(workload: RetrievalWorkload) -> SceneDatabase:
 
 
 def build_oracle(
-    workload: RetrievalWorkload, config: VisualPrintConfig | None = None
+    workload: RetrievalWorkload,
+    config: VisualPrintConfig | None = None,
+    workers: int = 1,
 ) -> UniquenessOracle:
     """Curate the uniqueness oracle from the full database."""
     database = build_scene_database(workload)
@@ -49,8 +52,57 @@ def build_oracle(
         descriptor_capacity=max(database.size, 1024)
     )
     oracle = UniquenessOracle(config)
-    oracle.insert(database.descriptors)
+    oracle.insert(database.descriptors, workers=workers)
     return oracle
+
+
+class _SelectAll:
+    """Upload every extracted keypoint (LSH / BruteForce regimes)."""
+
+    def __call__(self, query_index: int, keypoints):
+        return keypoints
+
+
+class _RandomSelector:
+    """Uniform-k subselection with a private RNG stream per query.
+
+    Each query draws from ``rng_for(seed, "random-select/<index>")``
+    rather than one shared sequential generator, so the selection for
+    query ``i`` is independent of which worker runs it and of how many
+    queries ran before it — the property the parallel fan-out relies on.
+    """
+
+    def __init__(self, count: int, seed: int) -> None:
+        self.count = count
+        self.seed = seed
+
+    def __call__(self, query_index: int, keypoints):
+        rng = rng_for(self.seed, f"random-select/{query_index}")
+        return random_subselect(keypoints, self.count, rng)
+
+
+class _UniquenessSelector:
+    """Oracle-ranked top-k subselection (the VisualPrint regime)."""
+
+    def __init__(self, oracle: UniquenessOracle, count: int) -> None:
+        self.oracle = oracle
+        self.count = count
+
+    def __call__(self, query_index: int, keypoints):
+        order = self.oracle.rank_by_uniqueness(keypoints.descriptors)
+        return keypoints.select(order[: self.count])
+
+
+def _predict_one(query_index: int) -> tuple[int, int]:
+    """Match one query against the scene database (pool worker body)."""
+    queries, labels, matcher, select, ratio, min_votes = get_shared()
+    keypoints = queries[query_index]
+    selected = select(query_index, keypoints)
+    if len(selected) == 0:
+        return -1, 0
+    _, database_rows = matcher.match(selected.descriptors, ratio=ratio)
+    outcome = vote_scene(labels[database_rows], min_votes=min_votes)
+    return int(outcome.predicted_scene), len(selected)
 
 
 def _predict_all(
@@ -61,18 +113,23 @@ def _predict_all(
     select,
     ratio: float,
     min_votes: int,
+    workers: int = 1,
 ) -> SchemeResult:
-    predictions = np.empty(workload.num_queries, dtype=np.int64)
-    uploaded = np.empty(workload.num_queries, dtype=np.int64)
-    for query_index, keypoints in enumerate(workload.query_keypoints):
-        selected = select(query_index, keypoints)
-        uploaded[query_index] = len(selected)
-        if len(selected) == 0:
-            predictions[query_index] = -1
-            continue
-        _, database_rows = matcher.match(selected.descriptors, ratio=ratio)
-        outcome = vote_scene(database.labels[database_rows], min_votes=min_votes)
-        predictions[query_index] = outcome.predicted_scene
+    outcomes = parallel_map(
+        _predict_one,
+        range(workload.num_queries),
+        workers=workers,
+        shared=(
+            workload.query_keypoints,
+            database.labels,
+            matcher,
+            select,
+            ratio,
+            min_votes,
+        ),
+    )
+    predictions = np.array([p for p, _ in outcomes], dtype=np.int64)
+    uploaded = np.array([u for _, u in outcomes], dtype=np.int64)
     return SchemeResult(
         scheme=scheme,
         true_scenes=np.array(workload.query_labels, dtype=np.int64),
@@ -89,17 +146,18 @@ def run_random(
     seed: int = 0,
     ratio: float = 0.8,
     min_votes: int = 8,
+    workers: int = 1,
 ) -> SchemeResult:
     """Random-k: uniform subselection, server LSH matching."""
-    rng = rng_for(seed, "random-select")
     return _predict_all(
         f"Random-{count}",
         workload,
         database,
         matcher,
-        lambda _, kp: random_subselect(kp, count, rng),
+        _RandomSelector(count, seed),
         ratio,
         min_votes,
+        workers=workers,
     )
 
 
@@ -111,15 +169,18 @@ def run_visualprint(
     count: int = 200,
     ratio: float = 0.8,
     min_votes: int = 8,
+    workers: int = 1,
 ) -> SchemeResult:
     """VisualPrint-k: oracle-ranked top-k, server LSH matching."""
-
-    def select(_: int, keypoints):
-        order = oracle.rank_by_uniqueness(keypoints.descriptors)
-        return keypoints.select(order[:count])
-
     return _predict_all(
-        f"VisualPrint-{count}", workload, database, matcher, select, ratio, min_votes
+        f"VisualPrint-{count}",
+        workload,
+        database,
+        matcher,
+        _UniquenessSelector(oracle, count),
+        ratio,
+        min_votes,
+        workers=workers,
     )
 
 
@@ -129,10 +190,18 @@ def run_lsh(
     matcher: LshMatcher,
     ratio: float = 0.8,
     min_votes: int = 8,
+    workers: int = 1,
 ) -> SchemeResult:
     """LSH: all query keypoints through the approximate matcher."""
     return _predict_all(
-        "LSH", workload, database, matcher, lambda _, kp: kp, ratio, min_votes
+        "LSH",
+        workload,
+        database,
+        matcher,
+        _SelectAll(),
+        ratio,
+        min_votes,
+        workers=workers,
     )
 
 
@@ -142,11 +211,19 @@ def run_bruteforce(
     matcher: BruteForceMatcher | None = None,
     ratio: float = 0.8,
     min_votes: int = 8,
+    workers: int = 1,
 ) -> SchemeResult:
     """BruteForce: all query keypoints through exact NN."""
     matcher = matcher or BruteForceMatcher(database.descriptors)
     return _predict_all(
-        "BruteForce", workload, database, matcher, lambda _, kp: kp, ratio, min_votes
+        "BruteForce",
+        workload,
+        database,
+        matcher,
+        _SelectAll(),
+        ratio,
+        min_votes,
+        workers=workers,
     )
 
 

@@ -229,6 +229,13 @@ class SiftExtractor:
             magnitude, angle = self._gradients(stack[level])
             sigma = 1.5 * float(pyramid.sigmas[level])
             radius = max(2, int(round(3.0 * sigma)))
+            if 2 * radius + 1 > min(stack.shape[1], stack.shape[2]):
+                # The orientation window does not fit the octave image at
+                # any center pixel (tiny images reaching high levels, where
+                # the smoothing radius outgrows the frame).  np.clip with
+                # lo > hi would silently produce negative centers and an
+                # out-of-bounds gather, so these candidates are dropped.
+                continue
             offsets = np.arange(-radius, radius + 1)
             weight_1d = np.exp(-(offsets**2) / (2.0 * sigma**2))
             window_weight = np.outer(weight_1d, weight_1d)  # (P, P)

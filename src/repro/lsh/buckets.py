@@ -70,3 +70,23 @@ class QuantizedBuckets:
         vectors = self.buckets[:, table, :].copy()
         vectors[:, projection] += delta
         return (vectors + _BUCKET_BIAS).astype(np.uint32)
+
+    def probe_vectors(
+        self, table: int, projections: np.ndarray, deltas: np.ndarray
+    ) -> np.ndarray:
+        """All multiprobe vectors for one table in a single tensor.
+
+        ``projections`` and ``deltas`` are ``(n, P)`` per-item perturbation
+        schedules (see :func:`repro.lsh.multiprobe.ranked_perturbations`).
+        Returns ``(n, P + 1, M)`` uint32 vectors: slot 0 is each item's
+        original bucket vector, slot ``j + 1`` its ``j``-th perturbation.
+        """
+        base = self.buckets[:, table, :]
+        n, _ = base.shape
+        num_probes = projections.shape[1]
+        probes = np.repeat(base[:, np.newaxis, :], num_probes + 1, axis=1)
+        if num_probes:
+            rows = np.arange(n)[:, np.newaxis]
+            slots = np.arange(1, num_probes + 1)[np.newaxis, :]
+            probes[rows, slots, projections] += deltas
+        return (probes + _BUCKET_BIAS).astype(np.uint32)

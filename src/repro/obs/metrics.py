@@ -95,6 +95,13 @@ class Counter:
     def to_dict(self) -> dict[str, Any]:
         return {"value": self._value}
 
+    def state(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another counter's state in: counts add."""
+        self._value += float(state["value"])
+
 
 class Gauge:
     """A value that can go up and down (saturation ratio, queue depth)."""
@@ -126,6 +133,18 @@ class Gauge:
 
     def to_dict(self) -> dict[str, Any]:
         return {"value": self._value}
+
+    def state(self) -> dict[str, Any]:
+        return {"value": self._value}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another gauge's state in: keep the elementwise maximum.
+
+        Max (rather than last-write-wins) is deterministic under
+        unordered worker completion and meaningful for the fill/
+        saturation-style gauges this codebase records.
+        """
+        self._value = max(self._value, float(state["value"]))
 
 
 class Histogram:
@@ -249,6 +268,43 @@ class Histogram:
         self._max = float("-inf")
         self._reservoir.clear()
 
+    def state(self) -> dict[str, Any]:
+        return {
+            "buckets": tuple(self.bucket_bounds),
+            "bucket_counts": list(self._bucket_counts),
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "reservoir": list(self._reservoir),
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another histogram's state in.
+
+        Bucket counts, totals, and extrema merge exactly.  The reservoir
+        merge is an approximation: incoming samples are appended and the
+        combined list truncated to the reservoir capacity, which keeps
+        the merge deterministic (independent of worker completion order,
+        since callers merge in chunk order) at the cost of slightly
+        biasing quantiles toward earlier chunks once the reservoir
+        overflows.
+        """
+        if tuple(state["buckets"]) != self.bucket_bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ "
+                f"({state['buckets']} vs {self.bucket_bounds})"
+            )
+        self._bucket_counts = [
+            a + b for a, b in zip(self._bucket_counts, state["bucket_counts"])
+        ]
+        self._count += int(state["count"])
+        self._sum += float(state["sum"])
+        self._min = min(self._min, float(state["min"]))
+        self._max = max(self._max, float(state["max"]))
+        self._reservoir.extend(state["reservoir"])
+        del self._reservoir[_RESERVOIR_SIZE:]
+
     def to_dict(self) -> dict[str, Any]:
         quantiles = self.quantiles((0.5, 0.9, 0.99))
         return {
@@ -327,6 +383,12 @@ class _NullInstrument:
     def to_dict(self) -> dict[str, Any]:
         return {}
 
+    def state(self) -> dict[str, Any]:
+        return {}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        pass
+
 
 class MetricsRegistry:
     """Namespace of instruments with get-or-create semantics.
@@ -338,6 +400,18 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Registries cross process boundaries when instrumented components
+        # (oracle, matcher) are shipped to repro.parallel workers; the
+        # lock is recreated on the far side.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
         self._lock = threading.Lock()
 
     # -- instrument accessors ------------------------------------------
@@ -396,6 +470,62 @@ class MetricsRegistry:
         """Zero every instrument (instruments stay registered)."""
         for instrument in self._instruments.values():
             instrument.reset()
+
+    # -- cross-process merge --------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """Serializable snapshot for :meth:`merge_state`.
+
+        Unlike :meth:`to_dict` (a lossy human/JSON view), this captures
+        everything needed to fold one registry into another: kind, name,
+        help, labels, histogram bucket bounds, and raw instrument state.
+        The payload is plain builtins, so it pickles cheaply across
+        process boundaries (the :mod:`repro.parallel` worker protocol).
+        """
+        return {
+            "instruments": [
+                {
+                    "kind": instrument.kind,
+                    "name": instrument.name,
+                    "help": instrument.help,
+                    "labels": dict(instrument.labels),
+                    "state": instrument.state(),
+                }
+                for instrument in self.instruments()
+            ]
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a :meth:`state` snapshot into this registry.
+
+        Instruments are get-or-created by (name, labels) — counters add,
+        gauges take the max, histograms combine buckets/totals (see each
+        instrument's ``merge_state``).  Merging the same snapshot twice
+        double-counts; callers merge each worker snapshot exactly once.
+        """
+        if not self.enabled:
+            return
+        for entry in state.get("instruments", ()):
+            kind = entry["kind"]
+            labels = entry["labels"]
+            if kind == "counter":
+                instrument = self.counter(entry["name"], help=entry["help"], **labels)
+            elif kind == "gauge":
+                instrument = self.gauge(entry["name"], help=entry["help"], **labels)
+            elif kind == "histogram":
+                instrument = self.histogram(
+                    entry["name"],
+                    help=entry["help"],
+                    buckets=tuple(entry["state"]["buckets"]),
+                    **labels,
+                )
+            else:  # null instruments carry no state
+                continue
+            instrument.merge_state(entry["state"])
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Convenience: fold another registry's current contents in."""
+        self.merge_state(other.state())
 
     def samples(self) -> list[tuple[str, tuple[tuple[str, str], ...], float]]:
         """Flat ``(sample_name, labels, value)`` triples.

@@ -1,0 +1,12 @@
+"""``repro.parallel`` — deterministic multi-core execution.
+
+A seeded, chunked process-pool map (:func:`parallel_map`) with an
+in-process ``workers=1`` fallback and metrics-registry merge, plus the
+per-item seed-sharding helper (:func:`shard_seeds`) that keeps parallel
+runs bit-identical to serial ones.  See DESIGN.md ("Parallel execution
+layer") for the seeding and merge semantics.
+"""
+
+from repro.parallel.pool import default_workers, get_shared, parallel_map, shard_seeds
+
+__all__ = ["default_workers", "get_shared", "parallel_map", "shard_seeds"]

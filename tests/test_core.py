@@ -173,19 +173,19 @@ class TestClient:
         client = VisualPrintClient(trained_oracle, config)
         fingerprint = client.fingerprint_keypoints(KeypointSet.empty())
         assert len(fingerprint) == 0
-        assert client.stats.frames_processed == 1
+        assert client.metrics.counter("client_frames_total").value == 1
 
     def test_stats_accumulate(self, trained_oracle, config, descriptors_1k):
         client = VisualPrintClient(trained_oracle, config)
         keypoints = _keypoints_from(descriptors_1k[:50])
         client.fingerprint_keypoints(keypoints)
         client.fingerprint_keypoints(keypoints)
-        assert client.stats.frames_processed == 2
-        assert client.stats.keypoints_extracted == 100
-        assert client.stats.bytes_uploaded > 0
-        assert client.median_latency("oracle") >= 0
+        assert client.metrics.counter("client_frames_total").value == 2
+        assert client.metrics.counter("client_keypoints_extracted_total").value == 100
+        assert client.metrics.counter("client_upload_bytes_total").value > 0
+        assert client.latency_quantiles("oracle")[0.5] >= 0
 
     def test_unknown_stage(self, trained_oracle, config):
         client = VisualPrintClient(trained_oracle, config)
         with pytest.raises(ValueError):
-            client.median_latency("gpu")
+            client.latency_quantiles("gpu")

@@ -60,8 +60,8 @@ class TestBlurDetection:
         client = VisualPrintClient(oracle, config, blur_detector=detector)
         result = client.process_frame(motion_blur(sharp_image, 13, 0.2))
         assert result is None
-        assert client.stats.frames_rejected_blur == 1
-        assert client.stats.bytes_uploaded == 0
+        assert client.metrics.counter("client_frames_rejected_blur_total").value == 1
+        assert client.metrics.counter("client_upload_bytes_total").value == 0
         assert client.process_frame(sharp_image) is not None
 
 

@@ -193,6 +193,42 @@ class TestHarris:
         assert len(detected) == 0
 
 
+class TestTinyImages:
+    """Images small enough that deep-level smoothing windows outgrow them.
+
+    Regression: ``_assign_orientations`` computed its orientation-window
+    bounds with ``np.clip(lo, hi)`` where ``lo > hi`` on tiny octaves
+    (window radius larger than the frame), producing negative center
+    pixels and an out-of-bounds gather.
+    """
+
+    def test_16x16_extract_does_not_crash(self):
+        image = rng_for(3, "tiny").random((16, 16)).astype(np.float32)
+        keypoints = SiftExtractor(SiftParams()).extract(image)
+        assert len(keypoints) >= 0  # completing without IndexError is the test
+
+    def test_oversized_orientation_window_is_skipped(self):
+        extractor = SiftExtractor(SiftParams())
+        image = rng_for(3, "tiny").random((16, 16)).astype(np.float32)
+        pyramid = GaussianPyramid.build(
+            image,
+            scales_per_octave=extractor.params.scales_per_octave,
+            base_sigma=extractor.params.base_sigma,
+        )
+        # A candidate rounded to a deep Gaussian level: its smoothing
+        # radius (18 px) exceeds the 16x16 frame, so no orientation can
+        # be assigned — the row must be dropped, not gathered OOB.
+        candidates = np.array([[4.0, 8.0, 8.0, 0.05]])
+        oriented = extractor._assign_orientations(pyramid, 0, candidates)
+        assert oriented.shape == (0, 5)
+
+    def test_small_blob_image_extracts(self):
+        yy, xx = np.mgrid[0:24, 0:24].astype(np.float32)
+        blob = np.exp(-((yy - 12) ** 2 + (xx - 12) ** 2) / 18.0)
+        keypoints = SiftExtractor(SiftParams(contrast_threshold=0.005)).extract(blob)
+        assert keypoints.descriptors.shape[1] == 128 or len(keypoints) == 0
+
+
 class TestSerialization:
     def test_record_size(self):
         assert keypoint_record_bytes() == 144

@@ -361,7 +361,9 @@ class TestDeprecatedShims:
         with pytest.warns(DeprecationWarning, match="latency_quantiles"):
             median = client.median_latency("oracle")
         assert median == client.latency_quantiles("oracle")[0.5]
-        with pytest.raises(ValueError):
+        # The shim warns before validating the stage name; capture the
+        # warning (errors under -W error otherwise) and expect the raise.
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
             client.median_latency("gpu")
 
     def test_standalone_clientstats_reads_empty_registry(self):
