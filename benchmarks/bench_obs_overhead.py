@@ -1,6 +1,6 @@
 """Observability-layer cost guards.
 
-Two assertions the obs subsystem must keep true as it grows:
+Three assertions the obs subsystem must keep true as it grows:
 
 1. Instrumenting :meth:`UniquenessOracle.counts` costs < 5% on a
    1k x 128 descriptor batch versus the uninstrumented path (a disabled
@@ -8,6 +8,10 @@ Two assertions the obs subsystem must keep true as it grows:
 2. Incremental :meth:`LshIndex.insert` beats rebuild-per-batch ingest
    (the quadratic wardrive pathology the server used to have), with the
    win visible in the ``server_ingest_seconds`` histogram.
+3. Full tracing (per-query root span + TraceCollector + FlightRecorder)
+   around :meth:`UniquenessOracle.lookup_batch` costs < 5% versus the
+   untraced path — the hot-path guard for the tracing layer, recorded
+   as a BENCH_obs_trace.json trajectory row.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ import numpy as np
 
 from repro.core import UniquenessOracle, VisualPrintConfig
 from repro.lsh import LshIndex
-from repro.obs import MetricsRegistry
+from repro.obs import FlightRecorder, MetricsRegistry, TraceCollector, trace_span, use_collector
 from repro.util.rng import rng_for
 
 _OVERHEAD_BUDGET = 1.05  # instrumented may cost at most 5% more
@@ -78,6 +82,66 @@ def test_counts_instrumentation_overhead(benchmark):
     )
     samples = instrumented.metrics.histogram("oracle_counts_seconds")
     assert samples.count >= 10
+
+
+def test_lookup_tracing_overhead(benchmark, obs_trace_trajectory):
+    """Traced lookup_batch (collector + flight recorder) within 5% of plain."""
+    config = VisualPrintConfig(descriptor_capacity=50_000)
+    descriptors = _descriptor_batch(1000)
+    oracle = UniquenessOracle(config, registry=MetricsRegistry(enabled=False))
+    oracle.insert(descriptors[:500])
+
+    collector = TraceCollector()
+    recorder = FlightRecorder(8)
+
+    def plain() -> None:
+        oracle.lookup_batch(descriptors)
+
+    def traced() -> None:
+        # The full per-query tracing stack: a "query" root span around
+        # the lookup, collection, slowest-K retention, then reset —
+        # exactly what a --flight-recorder CLI run does per query.
+        with use_collector(collector):
+            with trace_span("query"):
+                oracle.lookup_batch(descriptors)
+        recorder.observe_all(collector.traces())
+        collector.clear()
+
+    # Warm both paths (allocator, caches) before timing.
+    plain()
+    traced()
+
+    baseline_seconds = float("inf")
+    traced_seconds = float("inf")
+
+    def interleaved() -> None:
+        nonlocal baseline_seconds, traced_seconds
+        # More rounds than the counts guard: the tracing delta is a few
+        # microseconds against a ~40 ms lookup, so the best-of needs
+        # enough samples to find a quiet slot on a loaded 1-core host.
+        for _ in range(25):
+            start = time.perf_counter()
+            plain()
+            baseline_seconds = min(baseline_seconds, time.perf_counter() - start)
+            start = time.perf_counter()
+            traced()
+            traced_seconds = min(traced_seconds, time.perf_counter() - start)
+
+    benchmark.pedantic(interleaved, rounds=1, iterations=1)
+    assert traced_seconds <= baseline_seconds * _OVERHEAD_BUDGET + 5e-5, (
+        f"traced lookup_batch {traced_seconds * 1e3:.3f} ms vs "
+        f"plain {baseline_seconds * 1e3:.3f} ms exceeds "
+        f"{(_OVERHEAD_BUDGET - 1) * 100:.0f}% budget"
+    )
+    assert len(recorder) == 8  # the recorder really saw the traced queries
+
+    obs_trace_trajectory["lookup_batch_tracing"] = {
+        "descriptors": descriptors.shape[0],
+        "plain_seconds": round(baseline_seconds, 6),
+        "traced_seconds": round(traced_seconds, 6),
+        "overhead_ratio": round(traced_seconds / max(baseline_seconds, 1e-9), 4),
+        "budget_ratio": _OVERHEAD_BUDGET,
+    }
 
 
 def test_incremental_insert_beats_rebuild(benchmark, metrics_registry):

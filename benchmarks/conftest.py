@@ -19,9 +19,9 @@ import pytest
 from repro.obs import MetricsRegistry, use_registry
 from repro.parallel import default_workers
 
-# Session-wide trajectory rows collected by bench_parallel.py; written to
-# BENCH_parallel.json at session end so future PRs can track the curve.
-_PARALLEL_TRAJECTORY: dict[str, dict] = {}
+# Session-wide trajectory rows, keyed by output filename; each non-empty
+# entry is written at session end so future PRs can track the curves.
+_TRAJECTORIES: dict[str, dict[str, dict]] = {}
 
 
 def pytest_addoption(parser):
@@ -54,24 +54,32 @@ def metrics_registry():
 @pytest.fixture(scope="session")
 def parallel_trajectory() -> dict[str, dict]:
     """Mutable dict the parallel benchmarks fill with timing rows."""
-    return _PARALLEL_TRAJECTORY
+    return _TRAJECTORIES.setdefault("BENCH_parallel.json", {})
+
+
+@pytest.fixture(scope="session")
+def obs_trace_trajectory() -> dict[str, dict]:
+    """Mutable dict the tracing-overhead benchmark fills with timing rows."""
+    return _TRAJECTORIES.setdefault("BENCH_obs_trace.json", {})
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Emit BENCH_parallel.json when the parallel benchmarks ran.
+    """Emit one BENCH_*.json per trajectory the session filled.
 
     Wall-clock numbers are host-dependent; ``host_cpus`` records how
     much parallel hardware produced them, so a 1-core CI runner's
     pool-overhead numbers aren't mistaken for a regression against a
     16-core workstation's.
     """
-    if not _PARALLEL_TRAJECTORY:
-        return
-    payload = {
-        "host_cpus": default_workers(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "benchmarks": dict(sorted(_PARALLEL_TRAJECTORY.items())),
-    }
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
-    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    repo_root = Path(__file__).resolve().parent.parent
+    for filename, rows in _TRAJECTORIES.items():
+        if not rows:
+            continue
+        payload = {
+            "host_cpus": default_workers(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "benchmarks": dict(sorted(rows.items())),
+        }
+        out_path = repo_root / filename
+        out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -16,6 +16,7 @@ from repro import VisualPrintClient, VisualPrintConfig
 from repro.codecs import PngCodec
 from repro.imaging import to_uint8
 from repro.matching import BruteForceMatcher, SceneDatabase, vote_scene
+from repro.obs import TraceCollector, use_collector, write_chrome_trace
 
 
 def main() -> None:
@@ -40,8 +41,12 @@ def main() -> None:
     print(f"oracle download: {download_kb:.0f} KB (compressed)")
 
     # 3. The client sees a new photo of scene 2 from a different angle.
+    #    A TraceCollector around the query captures the "frame" span
+    #    tree (sift / oracle / serialize) for step 6.
     query_image = library.query_view(2, view_index=1)
-    fingerprint = client.process_frame(query_image)
+    collector = TraceCollector()
+    with use_collector(collector):
+        fingerprint = client.process_frame(query_image)
     frame_bytes = len(PngCodec().encode(to_uint8(query_image)))
     extracted = int(client.metrics.counter("client_keypoints_extracted_total").value)
     print(f"query: {extracted} keypoints extracted, {len(fingerprint)} uploaded")
@@ -72,6 +77,25 @@ def main() -> None:
         )
     quantiles = client.latency_quantiles("sift")
     print(f"  sift p50/p90: {quantiles[0.5] * 1e3:.1f} / {quantiles[0.9] * 1e3:.1f} ms")
+
+    # 6. The same query as a trace: per-stage latency quantiles from the
+    #    span histograms, plus a Chrome trace-event file you can load in
+    #    chrome://tracing or https://ui.perfetto.dev.
+    print("\nper-stage latency (span histograms):")
+    for stage in ("sift", "oracle", "serialize"):
+        histogram = client.metrics.histogram(f"span_{stage}_seconds")
+        stage_q = histogram.quantiles((0.5, 0.9))
+        print(
+            f"  {stage}: p50={stage_q[0.5] * 1e3:.1f} ms "
+            f"p90={stage_q[0.9] * 1e3:.1f} ms"
+        )
+    write_chrome_trace(collector.roots, "trace.json")
+    trace = collector.traces()[0]
+    print(
+        f"trace {trace.trace_id}: {trace.num_spans} spans, "
+        f"{trace.duration_seconds * 1e3:.1f} ms -> trace.json "
+        "(open in chrome://tracing or ui.perfetto.dev)"
+    )
 
 
 if __name__ == "__main__":

@@ -8,14 +8,38 @@ clients, oracles, servers, and the channel model all report into one
 :class:`repro.obs.MetricsRegistry`.  ``--metrics-json PATH`` writes the
 snapshot as JSON (and prints a compact metrics summary);
 ``--metrics-prom PATH`` writes the Prometheus text rendering.
+
+Tracing rides the same scope: any of ``--trace-out`` (Chrome
+trace-event JSON for ``chrome://tracing``/Perfetto), ``--trace-ndjson``
+(structured event log), or ``--flight-recorder K`` (print the K slowest
+query traces with full span trees) installs a
+:class:`repro.obs.TraceCollector` around the run — worker spans ship
+back through :mod:`repro.parallel`, so ``--workers N`` loses nothing.
+
+``python -m repro metrics-diff BASELINE CURRENT`` is the perf gate: it
+compares two ``--metrics-json`` snapshots against tolerance thresholds
+and exits nonzero on regression (see :mod:`repro.obs.diff`).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 
-from repro.obs import MetricsRegistry, use_registry
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    TraceCollector,
+    diff_metrics,
+    format_report,
+    format_trace,
+    use_collector,
+    use_registry,
+    write_chrome_trace,
+    write_ndjson,
+)
 
 from repro.evaluation.experiments import (
     fig2_fps,
@@ -119,7 +143,68 @@ def _print_metrics_summary(registry: MetricsRegistry) -> None:
             print(f"  {label}: {instrument.value:.6g}")
 
 
+def _run_metrics_diff(argv: list[str]) -> int:
+    """The ``metrics-diff`` subcommand: gate CURRENT against BASELINE."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics-diff",
+        description="Compare two --metrics-json snapshots; exit 1 on regression.",
+    )
+    parser.add_argument("baseline", help="baseline metrics JSON (the contract)")
+    parser.add_argument("current", help="current metrics JSON to check")
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.25,
+        help="relative tolerance per scalar (default 0.25)",
+    )
+    parser.add_argument(
+        "--abs-tol",
+        type=float,
+        default=0.0,
+        help="absolute tolerance per scalar (default 0)",
+    )
+    parser.add_argument(
+        "--include",
+        action="append",
+        metavar="GLOB",
+        default=None,
+        help="restrict the contract to baseline scalars matching GLOB "
+        "(repeatable; default: every baseline scalar)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, "r", encoding="utf-8") as handle:
+        current = json.load(handle)
+    num_checked, violations = diff_metrics(
+        baseline,
+        current,
+        rel_tol=args.rel_tol,
+        abs_tol=args.abs_tol,
+        include=args.include,
+    )
+    print(format_report(num_checked, violations))
+    return 1 if violations else 0
+
+
+def _print_flight_recorder(recorder: FlightRecorder) -> None:
+    print("=== flight recorder " + "=" * 41)
+    print(
+        f"  {len(recorder)}/{recorder.capacity} slowest traces retained, "
+        f"{recorder.evicted} evicted"
+    )
+    for trace in recorder.slowest():
+        for line in format_trace(trace).splitlines():
+            print(f"  {line}")
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Dispatch the snapshot-comparison subcommand before the experiment
+    # parser: it takes file paths, not an experiment name.
+    if argv and argv[0] == "metrics-diff":
+        return _run_metrics_diff(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce a figure from 'Low Bandwidth Offload for Mobile AR'.",
@@ -156,6 +241,26 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write the run's metrics registry to PATH in Prometheus text format",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's query traces to PATH as Chrome trace-event "
+        "JSON (load in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--trace-ndjson",
+        metavar="PATH",
+        default=None,
+        help="write the run's spans to PATH as newline-delimited JSON",
+    )
+    parser.add_argument(
+        "--flight-recorder",
+        type=int,
+        default=0,
+        metavar="K",
+        help="retain and print the K slowest query traces with full span trees",
+    )
     args = parser.parse_args(argv)
 
     workers = args.workers
@@ -165,19 +270,38 @@ def main(argv: list[str] | None = None) -> int:
         workers = default_workers()
 
     registry = MetricsRegistry()
+    collector = None
+    if args.trace_out or args.trace_ndjson or args.flight_recorder > 0:
+        collector = TraceCollector(registry=registry)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     with use_registry(registry):
-        for name in names:
-            module = _EXPERIMENTS[name]
-            extra = {"workers": workers} if name in _WORKERS_AWARE else {}
-            print(f"=== {name} " + "=" * max(1, 60 - len(name)))
-            if args.fast and name in _FAST_PARAMS:
-                result = module.run(**_FAST_PARAMS[name], **extra)
-                _print_summary(result)
-            else:
-                module.main(**extra)
-            print()
+        with use_collector(collector) if collector else contextlib.nullcontext():
+            for name in names:
+                module = _EXPERIMENTS[name]
+                extra = {"workers": workers} if name in _WORKERS_AWARE else {}
+                print(f"=== {name} " + "=" * max(1, 60 - len(name)))
+                if args.fast and name in _FAST_PARAMS:
+                    result = module.run(**_FAST_PARAMS[name], **extra)
+                    _print_summary(result)
+                else:
+                    module.main(**extra)
+                print()
 
+    if collector is not None:
+        num_spans = sum(1 for _ in collector.spans())
+        if args.trace_out:
+            write_chrome_trace(collector.roots, args.trace_out)
+            print(
+                f"chrome trace ({len(collector.traces())} traces, "
+                f"{num_spans} spans) written to {args.trace_out}"
+            )
+        if args.trace_ndjson:
+            write_ndjson(collector.roots, args.trace_ndjson)
+            print(f"span NDJSON ({num_spans} spans) written to {args.trace_ndjson}")
+        if args.flight_recorder > 0:
+            recorder = FlightRecorder(args.flight_recorder, registry=registry)
+            recorder.observe_all(collector.traces())
+            _print_flight_recorder(recorder)
     if args.metrics_json or args.metrics_prom:
         _print_metrics_summary(registry)
     if args.metrics_json:

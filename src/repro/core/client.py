@@ -251,10 +251,17 @@ class VisualPrintClient:
         Returns ``None`` when the frame is rejected as blurred (nothing
         is uploaded for it) — only possible when a
         :class:`repro.features.BlurDetector` was supplied.
+
+        The "frame" root span is the query's trace root: its
+        ``trace_id`` identifies this query everywhere downstream, and
+        ``client.tracer.last_context()`` hands drivers the
+        :class:`repro.obs.TraceContext` to attach the channel transfer
+        and server localize legs to (see DESIGN.md §8).
         """
-        with self.tracer.span("frame", frame_index=frame_index):
+        with self.tracer.span("frame", frame_index=frame_index) as span:
             if self.blur_detector is not None and self.blur_detector.is_blurred(image):
                 self._m_frames_blur.inc()
+                span.set("rejected", "blur")
                 return None
             keypoints = self.extract_keypoints(image)
             return self.fingerprint_keypoints(keypoints, frame_index=frame_index)

@@ -39,7 +39,7 @@ from repro.hashing.families import Murmur3Family
 from repro.lsh.buckets import QuantizedBuckets
 from repro.lsh.multiprobe import perturbation_sets, ranked_perturbations
 from repro.lsh.projections import StableProjections
-from repro.obs import MetricsRegistry, resolve_registry
+from repro.obs import MetricsRegistry, Tracer, resolve_registry
 
 __all__ = ["OracleLookup", "UniquenessOracle"]
 
@@ -118,6 +118,7 @@ class UniquenessOracle:
         )
         self._inserted = 0
         self._registry = resolve_registry(registry)
+        self.tracer = Tracer(self._registry)
         # Instrument handles are bound once: the counts() hot path pays
         # one perf_counter pair + two attribute calls, nothing more.
         self._m_insert_seconds = self._registry.histogram(
@@ -301,7 +302,28 @@ class UniquenessOracle:
         (only those before the first accept).  Bit-equivalent to
         :meth:`_lookup_batch_scalar`, the retained reference
         implementation.
+
+        One ``oracle.lookup_batch`` span covers the whole batch (span
+        cost amortizes over the rows, keeping the hot path inside the
+        obs overhead budget); under an open client span or a
+        :func:`repro.obs.use_trace_context` block it joins the calling
+        query's trace.
         """
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        if descriptors.ndim != 2:
+            raise ValueError(f"descriptors must be 2-D, got {descriptors.shape}")
+        if descriptors.shape[0] == 0:
+            return []
+        with self.tracer.span(
+            "oracle.lookup_batch", batch=int(descriptors.shape[0])
+        ) as span:
+            results = self._lookup_batch_vectorized(descriptors)
+            span.set("present", sum(1 for r in results if r.present))
+        return results
+
+    def _lookup_batch_vectorized(
+        self, descriptors: np.ndarray
+    ) -> list[OracleLookup]:
         start = time.perf_counter()
         descriptors = np.asarray(descriptors, dtype=np.float32)
         if descriptors.ndim != 2:

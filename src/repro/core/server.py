@@ -172,10 +172,21 @@ class VisualPrintServer:
     # ------------------------------------------------------------------
 
     def localize(self, fingerprint: Fingerprint) -> LocalizationAnswer:
-        """Answer a fingerprint query with a 6-DoF pose estimate."""
-        with self.tracer.span("localize", frame_index=fingerprint.frame_index):
+        """Answer a fingerprint query with a 6-DoF pose estimate.
+
+        The ``localize`` span joins the querying frame's trace when the
+        call runs under that frame's span or inside a
+        :func:`repro.obs.use_trace_context` block — one ``trace_id``
+        then covers client compute, channel transfer, and this server
+        leg end to end.
+        """
+        with self.tracer.span(
+            "localize", frame_index=fingerprint.frame_index
+        ) as span:
             with self._m_localize_seconds.time():
                 answer = self._localize(fingerprint)
+            span.set("matched_points", answer.matched_points)
+            span.set("clustered_points", answer.clustered_points)
         self._m_localizations.inc()
         self._m_matched_points.observe(answer.matched_points)
         self._m_clustered_points.observe(answer.clustered_points)

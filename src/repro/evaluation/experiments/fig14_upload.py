@@ -32,8 +32,18 @@ def _make_fingerprint_client() -> VisualPrintClient:
     return VisualPrintClient(oracle, config)
 
 
-def _fingerprint_frame(keypoints, client: VisualPrintClient) -> int:
-    return client.fingerprint_keypoints(keypoints).upload_bytes
+def _fingerprint_frame(item: tuple, client: VisualPrintClient) -> int:
+    """Fingerprint one (index, keypoints) pair under a per-frame root span.
+
+    ``fingerprint_keypoints`` alone would emit disjoint "oracle" and
+    "serialize" root spans; the explicit "frame" root groups them into
+    one trace per frame, mirroring :meth:`VisualPrintClient.process_frame`.
+    """
+    frame_index, keypoints = item
+    with client.tracer.span("frame", frame_index=frame_index):
+        return client.fingerprint_keypoints(
+            keypoints, frame_index=frame_index
+        ).upload_bytes
 
 
 def run(
@@ -78,7 +88,7 @@ def run(
     )
     fingerprint_payloads = parallel_map(
         _fingerprint_frame,
-        keypoint_sets,
+        list(enumerate(keypoint_sets)),
         workers=workers,
         shared=(oracle, config),
         chunk_setup=_make_fingerprint_client,

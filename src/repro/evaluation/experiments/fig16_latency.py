@@ -11,6 +11,11 @@ histograms) and additionally pushes every fingerprint through an uplink
 channel model, so a ``--metrics-json`` run captures the full
 shutter-to-server accounting: sift/oracle/serialize latency histograms,
 upload-byte counters, and ``network_transfer_seconds``.
+
+A ``--trace-out`` run additionally yields one correlated trace per
+frame: the "frame" span tree produced in a pool worker plus the
+parent-side ``network.transfer`` span, linked by the frame's trace
+context (returned alongside each payload size).
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from repro.core import UniquenessOracle, VisualPrintClient, VisualPrintConfig
 from repro.features import SiftExtractor, SiftParams
 from repro.imaging.synth import SceneLibrary
 from repro.network import CHANNEL_PRESETS
-from repro.obs import resolve_registry
+from repro.obs import TraceContext, resolve_registry, use_trace_context
 from repro.parallel import get_shared, parallel_map
 from repro.util.rng import rng_for
 
@@ -34,13 +39,18 @@ def _make_client() -> tuple:
     return library, VisualPrintClient(oracle, config)
 
 
-def _process_frame(frame: int, context: tuple) -> int:
-    """Fingerprint one frame; returns its upload payload size."""
+def _process_frame(frame: int, context: tuple) -> tuple[int, TraceContext | None]:
+    """Fingerprint one frame; returns (payload size, frame trace context).
+
+    The trace context travels back to the parent so the channel
+    transfer — applied sequentially after the pool for rng determinism —
+    can join the frame's trace (one ``trace_id`` per query end to end).
+    """
     library, client = context
     scene = frame % library.num_scenes
     view = frame % library.views_per_scene
     fingerprint = client.process_frame(library.query_view(scene, view), frame)
-    return fingerprint.upload_bytes
+    return fingerprint.upload_bytes, client.tracer.last_context()
 
 
 def run(
@@ -80,7 +90,7 @@ def run(
             oracle.insert(keypoints.descriptors)
 
     registry = resolve_registry(None)
-    upload_bytes = parallel_map(
+    outcomes = parallel_map(
         _process_frame,
         range(num_frames),
         workers=workers,
@@ -88,10 +98,15 @@ def run(
         chunk_setup=_make_client,
         registry=registry,
     )
+    upload_bytes = [size for size, _ in outcomes]
 
     uplink = CHANNEL_PRESETS[channel]
     rng = rng_for(seed, "fig16/jitter")
-    transfer = [uplink.transfer_seconds(size, rng) for size in upload_bytes]
+    transfer = []
+    for size, trace_context in outcomes:
+        # Each simulated transfer joins its originating frame's trace.
+        with use_trace_context(trace_context):
+            transfer.append(uplink.transfer_seconds(size, rng))
 
     sift = np.array(registry.histogram("client_sift_seconds").values())
     oracle_t = np.array(registry.histogram("client_oracle_seconds").values())

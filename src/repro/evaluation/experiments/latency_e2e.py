@@ -24,6 +24,7 @@ from repro.features import SiftExtractor, SiftParams
 from repro.imaging import to_uint8
 from repro.imaging.synth import SceneLibrary
 from repro.network import CHANNEL_PRESETS
+from repro.obs import TraceContext, use_trace_context
 from repro.parallel import get_shared, parallel_map
 from repro.util.rng import rng_for
 
@@ -36,8 +37,10 @@ def _make_frame_worker() -> tuple:
     return library, VisualPrintClient(oracle, config), PngCodec()
 
 
-def _measure_frame(frame_index: int, context: tuple) -> tuple[int, int, float]:
-    """One frame's (png bytes, fingerprint bytes, compute seconds)."""
+def _measure_frame(
+    frame_index: int, context: tuple
+) -> tuple[int, int, float, TraceContext | None]:
+    """One frame's (png bytes, fingerprint bytes, compute seconds, trace ctx)."""
     library, client, codec = context
     image = library.query_view(
         frame_index % library.num_scenes, frame_index % library.views_per_scene
@@ -50,7 +53,12 @@ def _measure_frame(frame_index: int, context: tuple) -> tuple[int, int, float]:
         frame_span.child("sift").duration_seconds
         + frame_span.child("oracle").duration_seconds
     )
-    return len(codec.encode(to_uint8(image))), fingerprint.upload_bytes, compute
+    return (
+        len(codec.encode(to_uint8(image))),
+        fingerprint.upload_bytes,
+        compute,
+        frame_span.context,
+    )
 
 
 def run(
@@ -91,27 +99,31 @@ def run(
     frame_bytes = [m[0] for m in measurements]
     fingerprint_bytes = [m[1] for m in measurements]
     compute_seconds = [m[2] for m in measurements]
+    trace_contexts = [m[3] for m in measurements]
 
     rng = rng_for(seed, "latency-e2e")
     latencies: dict[str, dict[str, np.ndarray]] = {}
     for channel_name, channel in CHANNEL_PRESETS.items():
         frame_lat = []
         vp_lat = []
-        for compute, frame_size, fp_size in zip(
-            compute_seconds, frame_bytes, fingerprint_bytes
+        for compute, frame_size, fp_size, trace_context in zip(
+            compute_seconds, frame_bytes, fingerprint_bytes, trace_contexts
         ):
-            # Whole-frame offload skips local feature compute entirely.
-            frame_lat.append(
-                channel.round_trip_seconds(
-                    frame_size, server_seconds=server_seconds, rng=rng
+            # Both schemes' simulated transfers join the frame's trace,
+            # so each query reads as one trace_id across every channel.
+            with use_trace_context(trace_context):
+                # Whole-frame offload skips local feature compute entirely.
+                frame_lat.append(
+                    channel.round_trip_seconds(
+                        frame_size, server_seconds=server_seconds, rng=rng
+                    )
                 )
-            )
-            vp_lat.append(
-                compute
-                + channel.round_trip_seconds(
-                    fp_size, server_seconds=server_seconds, rng=rng
+                vp_lat.append(
+                    compute
+                    + channel.round_trip_seconds(
+                        fp_size, server_seconds=server_seconds, rng=rng
+                    )
                 )
-            )
         latencies[channel_name] = {
             "frame_upload": np.array(frame_lat),
             "visualprint": np.array(vp_lat),

@@ -21,6 +21,7 @@ from repro.matching import (
     random_subselect,
     vote_scene,
 )
+from repro.obs import trace_span
 from repro.parallel import get_shared, parallel_map
 from repro.util.rng import rng_for
 
@@ -94,14 +95,22 @@ class _UniquenessSelector:
 
 
 def _predict_one(query_index: int) -> tuple[int, int]:
-    """Match one query against the scene database (pool worker body)."""
-    queries, labels, matcher, select, ratio, min_votes = get_shared()
+    """Match one query against the scene database (pool worker body).
+
+    Each query runs under a "query" root span (labeled with scheme and
+    index) so retrieval runs yield per-query traces; any spans opened
+    while it is active (e.g. ``oracle.lookup_batch``) nest underneath
+    automatically.
+    """
+    queries, labels, matcher, select, ratio, min_votes, scheme = get_shared()
     keypoints = queries[query_index]
-    selected = select(query_index, keypoints)
-    if len(selected) == 0:
-        return -1, 0
-    _, database_rows = matcher.match(selected.descriptors, ratio=ratio)
-    outcome = vote_scene(labels[database_rows], min_votes=min_votes)
+    with trace_span("query", query_index=query_index, scheme=scheme) as span:
+        selected = select(query_index, keypoints)
+        span.set("selected", len(selected))
+        if len(selected) == 0:
+            return -1, 0
+        _, database_rows = matcher.match(selected.descriptors, ratio=ratio)
+        outcome = vote_scene(labels[database_rows], min_votes=min_votes)
     return int(outcome.predicted_scene), len(selected)
 
 
@@ -126,6 +135,7 @@ def _predict_all(
             select,
             ratio,
             min_votes,
+            scheme,
         ),
     )
     predictions = np.array([p for p, _ in outcomes], dtype=np.int64)

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.obs import DEFAULT_BYTE_BUCKETS, current_registry
+from repro.obs import DEFAULT_BYTE_BUCKETS, current_registry, record_span
 from repro.util.validation import check_positive
 
 __all__ = ["UplinkChannel", "CHANNEL_PRESETS"]
@@ -22,8 +22,21 @@ def _record_transfer(channel_name: str, num_bytes: int, seconds: float) -> None:
 
     The channel model is a frozen value object used in tight simulation
     loops, so it carries no registry of its own: outside a
-    :func:`repro.obs.use_registry` block this is a no-op.
+    :func:`repro.obs.use_registry` block the metrics are a no-op.
+
+    Each transfer is also recorded as a ``network.transfer`` span whose
+    duration is the *simulated* seconds (no wall clock elapses here).
+    Inside a :func:`repro.obs.use_trace_context` block the span joins
+    the originating query's trace — how a fingerprint's channel leg
+    correlates with the frame that produced it; without an ambient span,
+    context, or collector, :func:`repro.obs.record_span` is a no-op too.
     """
+    record_span(
+        "network.transfer",
+        seconds,
+        channel=channel_name,
+        bytes=int(num_bytes),
+    )
     registry = current_registry()
     if registry is None:
         return

@@ -1,25 +1,46 @@
 """``repro.obs`` — the observability layer of the reproduction.
 
 Dependency-free metrics (:class:`Counter` / :class:`Gauge` /
-:class:`Histogram` in a :class:`MetricsRegistry`), nested tracing
-:class:`Span`\\ s, and exporters (``to_dict`` / JSON file / Prometheus
-text format).  The offload pipeline — client, oracle, server, uplink —
-reports into whichever registry is current (see :func:`use_registry`),
-which is how ``python -m repro <experiment> --metrics-json out.json``
-captures one coherent snapshot across every stage.
+:class:`Histogram` in a :class:`MetricsRegistry`), request-scoped
+tracing (:class:`Span` trees with ``trace_id`` identity, propagated via
+:class:`TraceContext` and gathered by a :class:`TraceCollector`), a
+:class:`FlightRecorder` retaining the slowest query traces, exporters
+(JSON / Prometheus text / Chrome trace-event JSON / NDJSON), and a
+metrics snapshot differ (:func:`diff_metrics`) behind the
+``metrics-diff`` CLI gate.  The offload pipeline — client, oracle,
+server, uplink — reports into whichever registry is current (see
+:func:`use_registry`), which is how ``python -m repro <experiment>
+--metrics-json out.json`` captures one coherent snapshot across every
+stage; ``--trace-out trace.json`` does the same for spans.
 
 Typical use::
 
-    from repro.obs import MetricsRegistry, use_registry
+    from repro.obs import MetricsRegistry, TraceCollector, use_collector, use_registry
 
     registry = MetricsRegistry()
-    with use_registry(registry):
+    collector = TraceCollector(registry=registry)
+    with use_registry(registry), use_collector(collector):
         ...  # build clients/servers, run frames
     print(registry.to_prometheus())
     registry.write_json("metrics.json")
+    write_chrome_trace(collector.roots, "trace.json")
 """
 
-from repro.obs.export import parse_prometheus, render_prometheus
+from repro.obs.diff import (
+    MetricViolation,
+    diff_metrics,
+    format_report,
+    scalar_samples,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    parse_prometheus,
+    render_prometheus,
+    span_records,
+    write_chrome_trace,
+    write_ndjson,
+)
+from repro.obs.flightrecorder import FlightRecorder, format_trace
 from repro.obs.metrics import (
     DEFAULT_BYTE_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
@@ -31,23 +52,60 @@ from repro.obs.metrics import (
     get_global_registry,
     use_registry,
 )
-from repro.obs.tracing import Span, Tracer
+from repro.obs.tracing import (
+    QueryTrace,
+    Span,
+    TraceCollector,
+    TraceContext,
+    Tracer,
+    current_collector,
+    current_span,
+    current_trace_context,
+    group_traces,
+    isolated_trace_state,
+    record_span,
+    trace_span,
+    use_collector,
+    use_trace_context,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_BYTE_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "MetricViolation",
     "MetricsRegistry",
+    "QueryTrace",
     "Span",
+    "TraceCollector",
+    "TraceContext",
     "Tracer",
+    "chrome_trace_events",
+    "current_collector",
     "current_registry",
+    "current_span",
+    "current_trace_context",
+    "diff_metrics",
+    "format_report",
+    "format_trace",
     "get_global_registry",
+    "group_traces",
+    "isolated_trace_state",
     "parse_prometheus",
+    "record_span",
     "render_prometheus",
     "resolve_registry",
+    "scalar_samples",
+    "span_records",
+    "trace_span",
+    "use_collector",
     "use_registry",
+    "use_trace_context",
+    "write_chrome_trace",
+    "write_ndjson",
 ]
 
 

@@ -1,4 +1,4 @@
-"""Exporters: Prometheus text exposition format and a round-trip parser.
+"""Exporters: Prometheus text, Chrome trace-event JSON, NDJSON spans.
 
 ``render_prometheus`` emits the version-0.0.4 text format (``# HELP`` /
 ``# TYPE`` headers, cumulative ``_bucket{le=...}`` samples for
@@ -6,16 +6,34 @@ histograms, escaped help text and label values).  ``parse_prometheus``
 reads that format back into flat samples so tests can prove the export
 round-trips a registry exactly — and so scrapes from a real Prometheus
 endpoint stay byte-compatible if one is ever bolted on.
+
+``chrome_trace_events`` / ``write_chrome_trace`` render root spans as
+Chrome trace-event JSON ("X" complete events, microsecond ``ts`` /
+``dur``) loadable in ``chrome://tracing`` and Perfetto; ``pid`` is the
+producing worker process and ``tid`` a per-trace lane, so every query
+renders as its own row.  ``write_ndjson`` emits the same spans as a
+flat structured event log, one JSON object per line.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import json
+import os
+from typing import TYPE_CHECKING, Any, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Span
 
-__all__ = ["parse_prometheus", "render_prometheus", "write_json"]
+__all__ = [
+    "chrome_trace_events",
+    "parse_prometheus",
+    "render_prometheus",
+    "span_records",
+    "write_chrome_trace",
+    "write_json",
+    "write_ndjson",
+]
 
 
 def _escape_help(text: str) -> str:
@@ -160,3 +178,100 @@ def parse_prometheus(text: str) -> list[tuple[str, tuple[tuple[str, str], ...], 
 def write_json(registry: "MetricsRegistry", path: str) -> None:
     """Convenience alias for :meth:`MetricsRegistry.write_json`."""
     registry.write_json(path)
+
+
+# ---------------------------------------------------------------------------
+# Trace exporters
+# ---------------------------------------------------------------------------
+
+
+def _span_pid(root: "Span") -> int:
+    """Chrome ``pid`` lane: the worker that produced the root span.
+
+    Worker-collected roots carry a ``worker`` attribute (set by
+    :mod:`repro.parallel` on merge-back); parent-side roots fall back to
+    this process's pid.
+    """
+    worker = root.attributes.get("worker")
+    try:
+        return int(worker)
+    except (TypeError, ValueError):
+        return os.getpid()
+
+
+def chrome_trace_events(roots: Iterable["Span"]) -> list[dict[str, Any]]:
+    """Root spans → Chrome trace-event "X" (complete) events.
+
+    Timestamps derive from ``start_unix`` (the only clock comparable
+    across processes), rebased to the earliest span so the trace opens
+    at t=0; ``ts`` and ``dur`` are microseconds per the trace-event
+    spec.  Each ``trace_id`` gets its own ``tid`` lane, so one query
+    renders as one row with its client/channel/oracle/server spans.
+    """
+    roots = list(roots)
+    if not roots:
+        return []
+    base = min(span.start_unix for root in roots for span in root.iter_spans())
+    lanes: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for root in roots:
+        pid = _span_pid(root)
+        tid = lanes.setdefault(root.trace_id, len(lanes) + 1)
+        for span in root.iter_spans():
+            payload = span.to_dict()
+            args = dict(payload["attributes"])
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": (span.start_unix - base) * 1e6,
+                    "dur": max(span.duration_seconds, 0.0) * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def write_chrome_trace(roots: Iterable["Span"], path: str) -> None:
+    """Write root spans as a ``chrome://tracing``/Perfetto-loadable file."""
+    roots = list(roots)
+    base = (
+        min(span.start_unix for root in roots for span in root.iter_spans())
+        if roots
+        else 0.0
+    )
+    payload = {
+        "traceEvents": chrome_trace_events(roots),
+        "displayTimeUnit": "ms",
+        "metadata": {"base_unix_seconds": base},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+
+
+def span_records(roots: Iterable["Span"]) -> list[dict[str, Any]]:
+    """Root spans → flat per-span records (the NDJSON line payloads)."""
+    records: list[dict[str, Any]] = []
+    for root in roots:
+        for span in root.iter_spans():
+            payload = span.to_dict()
+            payload.pop("children")
+            payload["type"] = "span"
+            records.append(payload)
+    return records
+
+
+def write_ndjson(roots: Iterable["Span"], path: str) -> None:
+    """Write root spans as newline-delimited JSON, one span per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in span_records(roots):
+            handle.write(json.dumps(record))
+            handle.write("\n")

@@ -1,0 +1,116 @@
+"""Flight recorder: keep the K slowest query traces, drop the rest.
+
+A long experiment produces thousands of per-query traces; what a perf
+investigation needs is the pathological tail with full span trees and
+attributes intact.  :class:`FlightRecorder` is a bounded retention
+buffer (a min-heap keyed on trace duration playing the role of the
+classic ring buffer): feed it every :class:`repro.obs.QueryTrace` and
+it keeps the ``capacity`` slowest, evicting the rest — every eviction
+counted in ``flight_recorder_evicted_total`` so the data loss is
+visible, never silent (the same contract as ``Tracer`` root trimming).
+
+Trace duration is the query's busy time — each root leg's extent,
+summed (see :attr:`repro.obs.QueryTrace.duration_seconds`) — so
+*simulated* spans (the channel model's transfer seconds) count toward
+slowness exactly as they would on a real uplink, while idle wall-clock
+between a query's legs does not.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import QueryTrace, Span
+
+__all__ = ["FlightRecorder", "format_trace"]
+
+
+def _format_span(span: Span, depth: int, lines: list[str]) -> None:
+    attrs = ""
+    if span.attributes:
+        inner = ", ".join(f"{k}={v}" for k, v in span.attributes.items())
+        attrs = f"  [{inner}]"
+    lines.append(
+        f"{'  ' * depth}{span.name} {span.duration_seconds * 1e3:.3f} ms{attrs}"
+    )
+    for child in span.children:
+        _format_span(child, depth + 1, lines)
+
+
+def format_trace(trace: QueryTrace) -> str:
+    """Human-readable span-tree rendering of one query trace."""
+    lines = [
+        f"trace {trace.trace_id}: {trace.duration_seconds * 1e3:.3f} ms, "
+        f"{trace.num_spans} spans in {len(trace.roots)} roots"
+    ]
+    for root in trace.roots:
+        _format_span(root, 1, lines)
+    return "\n".join(lines)
+
+
+class FlightRecorder:
+    """Bounded buffer retaining the ``capacity`` slowest query traces."""
+
+    def __init__(
+        self, capacity: int, registry: MetricsRegistry | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.registry = registry
+        self.evicted = 0
+        self._sequence = 0
+        # Min-heap of (duration, sequence, trace): the fastest retained
+        # trace sits at the top, ready to be displaced by anything slower.
+        self._heap: list[tuple[float, int, QueryTrace]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def observe(self, trace: QueryTrace) -> None:
+        """Offer one trace; it is retained iff it ranks in the slowest K."""
+        entry = (trace.duration_seconds, self._sequence, trace)
+        self._sequence += 1
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+            return
+        if entry[0] > self._heap[0][0]:
+            heapq.heappushpop(self._heap, entry)
+        self._record_eviction()
+
+    def observe_all(self, traces: Iterable[QueryTrace]) -> None:
+        for trace in traces:
+            self.observe(trace)
+
+    def _record_eviction(self) -> None:
+        self.evicted += 1
+        if self.registry is not None:
+            self.registry.counter(
+                "flight_recorder_evicted_total",
+                help="query traces evicted from the flight recorder",
+            ).inc()
+
+    def slowest(self) -> list[QueryTrace]:
+        """Retained traces, slowest first."""
+        return [
+            entry[2]
+            for entry in sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "evicted": self.evicted,
+            "traces": [trace.to_dict() for trace in self.slowest()],
+        }
+
+    def dump(self) -> str:
+        """Text rendering of every retained trace, slowest first."""
+        traces = self.slowest()
+        header = (
+            f"flight recorder: {len(traces)}/{self.capacity} traces retained, "
+            f"{self.evicted} evicted"
+        )
+        return "\n".join([header] + [format_trace(trace) for trace in traces])

@@ -26,6 +26,13 @@ codebase relies on:
   and shipped via ``shared`` keep their own bound registries — in a
   worker process those records stay in the worker's copy; construct
   instrumented components in ``chunk_setup`` when their metrics matter.
+  Traces get the same treatment: when the caller has a
+  :class:`repro.obs.TraceCollector` installed (see
+  :func:`repro.obs.use_collector`), each chunk runs under a fresh
+  collector whose finished root spans — labeled with the producing
+  ``worker`` pid and ``shard`` (chunk) index — are shipped back and
+  merged in chunk order, so a ``workers=N`` run retains the same set
+  of root spans as ``workers=1``.
 
 Worker functions must be module-level (picklable); heavyweight
 read-only context travels once per worker through ``shared`` and is
@@ -40,7 +47,17 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.obs import MetricsRegistry, resolve_registry, use_registry
+from contextlib import ExitStack
+
+from repro.obs import (
+    MetricsRegistry,
+    TraceCollector,
+    current_collector,
+    isolated_trace_state,
+    resolve_registry,
+    use_collector,
+    use_registry,
+)
 from repro.util.rng import derive_seed
 
 __all__ = ["default_workers", "get_shared", "parallel_map", "shard_seeds"]
@@ -90,16 +107,39 @@ def _run_chunk(
     fn: Callable[..., Any],
     chunk: Sequence[Any],
     chunk_setup: Callable[[], Any] | None,
-) -> tuple[list[Any], dict[str, Any]]:
-    """Run one chunk under a fresh contextual registry; return its state."""
+    chunk_index: int = 0,
+    collect_traces: bool = False,
+) -> tuple[list[Any], dict[str, Any], list[dict[str, Any]] | None]:
+    """Run one chunk under fresh contextual registry/collector; return states.
+
+    ``collect_traces`` is set when the *caller* had a collector
+    installed: the chunk then gathers its finished root spans, labels
+    them with this worker's pid and the chunk index, and returns them
+    as picklable state for the parent to merge — otherwise span
+    shipping is skipped entirely.
+    """
     registry = MetricsRegistry()
-    with use_registry(registry):
+    collector = TraceCollector(registry=registry) if collect_traces else None
+    with ExitStack() as stack:
+        # Forked workers inherit the parent's propagation stacks (and the
+        # in-process fallback runs on them directly); clear both cases so
+        # chunk spans root identically regardless of worker count.
+        stack.enter_context(isolated_trace_state())
+        stack.enter_context(use_registry(registry))
+        if collector is not None:
+            stack.enter_context(use_collector(collector))
         if chunk_setup is None:
             results = [fn(item) for item in chunk]
         else:
             context = chunk_setup()
             results = [fn(item, context) for item in chunk]
-    return results, registry.state()
+    trace_state: list[dict[str, Any]] | None = None
+    if collector is not None:
+        for root in collector.roots:
+            root.attributes.setdefault("worker", os.getpid())
+            root.attributes.setdefault("shard", chunk_index)
+        trace_state = collector.state()
+    return results, registry.state(), trace_state
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -136,10 +176,13 @@ def parallel_map(
 
     Metrics recorded into the contextual registry inside each chunk are
     merged (in chunk order, hence deterministically) into ``registry``,
-    resolved per :func:`repro.obs.resolve_registry`.
+    resolved per :func:`repro.obs.resolve_registry`.  Root spans
+    finished inside each chunk merge the same way into the caller's
+    contextual :class:`repro.obs.TraceCollector`, when one is installed.
     """
     items = list(items)
     target = resolve_registry(registry)
+    collector = current_collector()
     if not items:
         return []
     workers = max(1, min(int(workers), len(items)))
@@ -152,11 +195,15 @@ def parallel_map(
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     chunks = [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
 
+    collect_traces = collector is not None
     if workers == 1:
         previous = _SHARED
         _set_shared(shared)
         try:
-            outcomes = [_run_chunk(fn, chunk, chunk_setup) for chunk in chunks]
+            outcomes = [
+                _run_chunk(fn, chunk, chunk_setup, index, collect_traces)
+                for index, chunk in enumerate(chunks)
+            ]
         finally:
             _set_shared(previous)
     else:
@@ -167,13 +214,16 @@ def parallel_map(
             initargs=(shared,),
         ) as pool:
             futures = [
-                pool.submit(_run_chunk, fn, chunk, chunk_setup) for chunk in chunks
+                pool.submit(_run_chunk, fn, chunk, chunk_setup, index, collect_traces)
+                for index, chunk in enumerate(chunks)
             ]
             # Collect in submission order regardless of completion order.
             outcomes = [future.result() for future in futures]
 
     results: list[Any] = []
-    for chunk_results, chunk_state in outcomes:
+    for chunk_results, chunk_state, chunk_traces in outcomes:
         results.extend(chunk_results)
         target.merge_state(chunk_state)
+        if collector is not None and chunk_traces:
+            collector.merge_state(chunk_traces)
     return results

@@ -14,6 +14,14 @@ from repro.network import (
     simulate_stream,
     sustainable_fps,
 )
+from repro.obs import (
+    MetricsRegistry,
+    TraceCollector,
+    TraceContext,
+    use_collector,
+    use_registry,
+    use_trace_context,
+)
 
 
 class TestChannel:
@@ -49,6 +57,66 @@ class TestChannel:
     def test_invalid_bandwidth(self):
         with pytest.raises(ValueError):
             UplinkChannel("t", bandwidth_mbps=0.0)
+
+
+class TestChannelMetrics:
+    """The channel model's reporting into the contextual registry."""
+
+    def _channel(self) -> UplinkChannel:
+        # Jitterless: 1 Mbps => 125 kB/s, 40 ms RTT => 0.02 s half-RTT.
+        return UplinkChannel("t", bandwidth_mbps=1.0, rtt_ms=40.0, jitter_sigma=0.0)
+
+    def test_transfer_seconds_histogram(self):
+        registry = MetricsRegistry()
+        channel = self._channel()
+        with use_registry(registry):
+            seconds = channel.transfer_seconds(125_000)
+        histogram = registry.histogram("network_transfer_seconds", channel="t")
+        assert histogram.count == 1
+        assert histogram.sum == pytest.approx(seconds)
+        assert seconds == pytest.approx(1.02)  # 1 s serialization + half RTT
+
+    def test_upload_byte_instruments(self):
+        registry = MetricsRegistry()
+        channel = self._channel()
+        with use_registry(registry):
+            channel.transfer_seconds(1000)
+            channel.transfer_seconds(2500)
+        histogram = registry.histogram("network_upload_bytes", channel="t")
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(3500)
+        assert registry.counter("network_upload_bytes_total", channel="t").value == 3500
+
+    def test_round_trip_is_two_transfers(self):
+        registry = MetricsRegistry()
+        channel = self._channel()
+        with use_registry(registry):
+            channel.round_trip_seconds(10_000, response_bytes=256)
+        histogram = registry.histogram("network_transfer_seconds", channel="t")
+        assert histogram.count == 2
+        assert registry.counter("network_upload_bytes_total", channel="t").value == (
+            10_000 + 256
+        )
+
+    def test_no_registry_no_side_effects(self):
+        # Outside use_registry the metrics (and spans) are a no-op.
+        assert self._channel().transfer_seconds(1000) > 0
+
+    def test_transfer_span_joins_ambient_context(self):
+        collector = TraceCollector()
+        channel = self._channel()
+        context = TraceContext(trace_id="trace-q7", span_id="frame-q7")
+        with use_collector(collector):
+            with use_trace_context(context):
+                seconds = channel.transfer_seconds(4096)
+        assert len(collector.roots) == 1
+        span = collector.roots[0]
+        assert span.name == "network.transfer"
+        assert span.trace_id == "trace-q7"
+        assert span.parent_id == "frame-q7"
+        assert span.duration_seconds == pytest.approx(seconds)
+        assert span.attributes["bytes"] == 4096
+        assert span.attributes["channel"] == "t"
 
 
 class TestFps:
