@@ -1,0 +1,169 @@
+"""Fault-injection trajectory: wrapper overhead and chaos economics.
+
+Three measurements land in BENCH_faults.json:
+
+* ``null_wrap_overhead`` — driving 5k submissions through a zero-fault
+  :class:`FaultyChannel` versus the bare channel.  The simulated
+  latencies must be bit-identical (the zero-fault parity contract); the
+  row records the wall-clock cost of the wrapper indirection.
+* ``loss_sweep`` — goodput and retry economics of the degradation
+  ladder across loss rates: delivered/degraded/abandoned counts, mean
+  latency, and the fraction of simulated air time wasted on attempts
+  that died.
+* ``refresh_flaky_link`` — oracle refresh epochs over a lossy downlink:
+  how many epochs served stale, worst-case staleness, and delta-versus-
+  snapshot payload bytes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import OracleRefresher, UniquenessOracle, VisualPrintConfig
+from repro.network import (
+    FaultSpec,
+    FaultyChannel,
+    RetryPolicy,
+    UplinkChannel,
+    submit_payload,
+)
+from repro.util.rng import rng_for
+
+_SUBMISSIONS = 5000
+_LADDER = [28_808, 14_408, 7_208]  # serialized 200/100/50-keypoint fingerprints
+
+
+def _lte() -> UplinkChannel:
+    return UplinkChannel(
+        "lte", bandwidth_mbps=8.0, rtt_ms=60.0, jitter_sigma=0.0, downlink_mbps=24.0
+    )
+
+
+def test_null_wrap_overhead(faults_trajectory, benchmark):
+    bare = _lte()
+    wrapped = FaultyChannel(_lte(), FaultSpec())
+    policy = RetryPolicy()
+
+    start = time.perf_counter()
+    bare_latencies = [
+        submit_payload(bare, _LADDER, policy).latency_seconds
+        for _ in range(_SUBMISSIONS)
+    ]
+    bare_seconds = time.perf_counter() - start
+
+    def run():
+        return [
+            submit_payload(wrapped, _LADDER, policy).latency_seconds
+            for _ in range(_SUBMISSIONS)
+        ]
+
+    wrapped_latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    wrapped_seconds = benchmark.stats.stats.total
+
+    assert wrapped_latencies == bare_latencies  # zero-fault parity
+    faults_trajectory["null_wrap_overhead"] = {
+        "submissions": _SUBMISSIONS,
+        "bare_seconds": round(bare_seconds, 4),
+        "wrapped_seconds": round(wrapped_seconds, 4),
+        "overhead_ratio": round(wrapped_seconds / max(bare_seconds, 1e-9), 2),
+        "bit_identical": True,
+    }
+    print()
+    print(
+        f"  null wrap: {wrapped_seconds / max(bare_seconds, 1e-9):.2f}x "
+        f"bare over {_SUBMISSIONS} submissions"
+    )
+
+
+def test_loss_sweep(faults_trajectory, benchmark):
+    policy = RetryPolicy(max_attempts=4, base_backoff_seconds=0.05)
+
+    def sweep():
+        rows = {}
+        for loss in (0.1, 0.3, 0.5):
+            channel = FaultyChannel(_lte(), FaultSpec(loss=loss, seed=11))
+            rng = rng_for(11, f"bench-faults/{loss}")
+            outcomes = [
+                submit_payload(channel, _LADDER, policy, rng)
+                for _ in range(_SUBMISSIONS // 5)
+            ]
+            latencies = [o.latency_seconds for o in outcomes]
+            wasted = sum(o.wasted_seconds for o in outcomes)
+            rows[f"loss_{loss}"] = {
+                "queries": len(outcomes),
+                "delivered": sum(o.status == "delivered" for o in outcomes),
+                "degraded": sum(o.status == "degraded" for o in outcomes),
+                "abandoned": sum(o.status == "abandoned" for o in outcomes),
+                "retries": sum(o.retries for o in outcomes),
+                "mean_latency_seconds": round(float(np.mean(latencies)), 4),
+                "wasted_air_fraction": round(wasted / max(sum(latencies), 1e-9), 3),
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for key, row in rows.items():
+        assert (
+            row["delivered"] + row["degraded"] + row["abandoned"] == row["queries"]
+        )
+        faults_trajectory[key] = row
+    print()
+    for key, row in rows.items():
+        print(
+            f"  {key}: {row['delivered']} ok, {row['degraded']} degraded, "
+            f"{row['abandoned']} abandoned, wasted {row['wasted_air_fraction']:.0%}"
+        )
+    # More loss must never mean more goodput.
+    ok = [rows[k]["delivered"] for k in ("loss_0.1", "loss_0.3", "loss_0.5")]
+    assert ok == sorted(ok, reverse=True)
+
+
+def test_refresh_flaky_link(faults_trajectory, benchmark):
+    config = VisualPrintConfig(descriptor_capacity=20_000, fingerprint_size=50)
+    rng = rng_for(23, "bench-faults/refresh")
+
+    def epochs():
+        server = UniquenessOracle(config)
+        server.insert(
+            rng.integers(0, 256, (400, 128)).astype(np.float32)
+        )
+        client = UniquenessOracle(config)
+        client.counting.counters = server.counting.counters.copy()
+        refresher = OracleRefresher(client, RetryPolicy(max_attempts=3))
+        channel = FaultyChannel(
+            _lte(), FaultSpec(loss=0.45, outage_enter=0.05, seed=23)
+        )
+        stale_epochs = 0
+        worst_staleness = 0.0
+        payload_bytes = []
+        for epoch in range(20):
+            server.insert(
+                rng.integers(0, 256, (40, 128)).astype(np.float32)
+            )
+            report = refresher.refresh(
+                server, channel=channel, now_seconds=30.0 * (epoch + 1)
+            )
+            payload_bytes.append(report.payload_bytes)
+            if report.status == "stale":
+                stale_epochs += 1
+                worst_staleness = max(worst_staleness, report.staleness_seconds)
+        return stale_epochs, worst_staleness, payload_bytes, client, server
+
+    stale_epochs, worst_staleness, payload_bytes, client, server = (
+        benchmark.pedantic(epochs, rounds=1, iterations=1)
+    )
+    # Graceful degradation, not divergence: the moment an epoch lands,
+    # the client is exactly current again — and some epochs must land.
+    assert stale_epochs < 20
+    faults_trajectory["refresh_flaky_link"] = {
+        "epochs": 20,
+        "stale_epochs": stale_epochs,
+        "worst_staleness_seconds": round(worst_staleness, 1),
+        "mean_refresh_bytes": int(np.mean(payload_bytes)),
+    }
+    print()
+    print(
+        f"  refresh: {stale_epochs}/20 epochs stale, worst staleness "
+        f"{worst_staleness:.0f} s, mean payload {np.mean(payload_bytes) / 1024:.1f} KB"
+    )

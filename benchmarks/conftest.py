@@ -63,6 +63,12 @@ def obs_trace_trajectory() -> dict[str, dict]:
     return _TRAJECTORIES.setdefault("BENCH_obs_trace.json", {})
 
 
+@pytest.fixture(scope="session")
+def faults_trajectory() -> dict[str, dict]:
+    """Mutable dict the fault-injection benchmarks fill with rows."""
+    return _TRAJECTORIES.setdefault("BENCH_faults.json", {})
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Emit one BENCH_*.json per trajectory the session filled.
 

@@ -9,11 +9,18 @@ introduced by multiprobe lookups.
 """
 
 from repro.bloom.bloom import BloomFilter, optimal_num_bits, optimal_num_hashes
-from repro.bloom.container import BloomSnapshot, deserialize_counting, serialize_counting
+from repro.bloom.container import (
+    DEFAULT_GZIP_LEVEL,
+    BloomSnapshot,
+    deserialize_counting,
+    serialize_counting,
+    serialize_verification,
+)
 from repro.bloom.counting import CountingBloomFilter
 from repro.bloom.verification import VerificationBloomFilter
 
 __all__ = [
+    "DEFAULT_GZIP_LEVEL",
     "BloomFilter",
     "BloomSnapshot",
     "CountingBloomFilter",
@@ -22,4 +29,5 @@ __all__ = [
     "optimal_num_bits",
     "optimal_num_hashes",
     "serialize_counting",
+    "serialize_verification",
 ]

@@ -15,11 +15,23 @@ import struct
 from dataclasses import dataclass
 
 from repro.bloom.counting import CountingBloomFilter
+from repro.bloom.verification import VerificationBloomFilter
 
-__all__ = ["BloomSnapshot", "serialize_counting", "deserialize_counting"]
+__all__ = [
+    "BloomSnapshot",
+    "DEFAULT_GZIP_LEVEL",
+    "serialize_counting",
+    "serialize_verification",
+    "deserialize_counting",
+]
 
 _MAGIC = b"VPBF"
+_VERIFICATION_MAGIC = b"VPVF"
 _VERSION = 1
+
+#: The container's one compression knob; every snapshot producer routes
+#: through it so download-size accounting never mixes GZIP levels.
+DEFAULT_GZIP_LEVEL = 6
 
 
 @dataclass(frozen=True)
@@ -38,7 +50,7 @@ class BloomSnapshot:
 
 
 def serialize_counting(
-    bloom: CountingBloomFilter, gzip_level: int = 6
+    bloom: CountingBloomFilter, gzip_level: int = DEFAULT_GZIP_LEVEL
 ) -> BloomSnapshot:
     """Serialize ``bloom`` to a GZIP-compressed snapshot."""
     header = json.dumps(
@@ -50,6 +62,26 @@ def serialize_counting(
     ).encode("utf-8")
     body = bloom.packed_bytes()
     raw = _MAGIC + struct.pack("<BI", _VERSION, len(header)) + header + body
+    compressed = gzip.compress(raw, compresslevel=gzip_level)
+    return BloomSnapshot(
+        payload=compressed, raw_bytes=len(raw), compressed_bytes=len(compressed)
+    )
+
+
+def serialize_verification(
+    bloom: VerificationBloomFilter, gzip_level: int = DEFAULT_GZIP_LEVEL
+) -> BloomSnapshot:
+    """Serialize a verification filter to a GZIP-compressed snapshot.
+
+    Same wire shape as :func:`serialize_counting` (magic + version +
+    JSON header + packed bits) so download accounting treats both
+    filters uniformly.
+    """
+    header = json.dumps(
+        {"num_bits": bloom.num_bits, "num_hashes": bloom.num_hashes}
+    ).encode("utf-8")
+    body = bloom.packed_bytes()
+    raw = _VERIFICATION_MAGIC + struct.pack("<BI", _VERSION, len(header)) + header + body
     compressed = gzip.compress(raw, compresslevel=gzip_level)
     return BloomSnapshot(
         payload=compressed, raw_bytes=len(raw), compressed_bytes=len(compressed)

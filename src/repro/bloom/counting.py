@@ -57,6 +57,17 @@ class CountingBloomFilter:
     def inserted_count(self) -> int:
         return self._inserted
 
+    @property
+    def hash_seed(self) -> int:
+        """The hash family's base seed — part of the filter's identity.
+
+        Two filters with equal geometry but different seeds map the same
+        element to different counters, so deltas and snapshots must
+        carry (and check) this value.  Custom families without a
+        ``base_seed`` report 0.
+        """
+        return int(getattr(self._family, "base_seed", 0))
+
     def indices(self, vectors: np.ndarray) -> np.ndarray:
         """Hash indices for each row (needed by the verification filter)."""
         return self._family.indices(vectors)

@@ -30,6 +30,10 @@ class VerificationBloomFilter:
         return self._bloom.num_bits
 
     @property
+    def num_hashes(self) -> int:
+        return self._bloom.num_hashes
+
+    @property
     def fill_fraction(self) -> float:
         return self._bloom.fill_fraction
 

@@ -78,6 +78,9 @@ _EXPERIMENTS = {
 # Experiments whose run()/main() accept a workers= fan-out parameter.
 _WORKERS_AWARE = {"fig13", "fig14", "fig16", "latency"}
 
+# Experiments whose run()/main() accept faults= / retry= (chaos runs).
+_FAULT_AWARE = {"fig13", "fig14", "fig16", "latency"}
+
 _FAST_PARAMS: dict[str, dict] = {
     "fig3": dict(num_images=12, image_size=160),
     "fig5": dict(num_images=12, image_size=160),
@@ -228,6 +231,49 @@ def main(argv: list[str] | None = None) -> int:
         f"({', '.join(sorted(_WORKERS_AWARE))}); results are bit-identical "
         "to --workers 1 (0 = all available cores)",
     )
+    faults_group = parser.add_argument_group(
+        "fault injection",
+        "wrap the experiment's channel in a seeded FaultyChannel and "
+        f"retry under a backoff policy ({', '.join(sorted(_FAULT_AWARE))})",
+    )
+    faults_group.add_argument(
+        "--channel-loss",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-attempt packet-loss probability in the good link state",
+    )
+    faults_group.add_argument(
+        "--channel-outage",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-attempt probability of entering a transient outage "
+        "(Gilbert–Elliott good→bad transition)",
+    )
+    faults_group.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max transfer attempts per query (default 4)",
+    )
+    faults_group.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base exponential-backoff pause before the first retry "
+        "(default 0.05)",
+    )
+    faults_group.add_argument(
+        "--retry-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query simulated latency budget before abandoning "
+        "(default 30)",
+    )
     parser.add_argument(
         "--metrics-json",
         metavar="PATH",
@@ -269,6 +315,36 @@ def main(argv: list[str] | None = None) -> int:
 
         workers = default_workers()
 
+    # Any fault/retry flag opts the run into the recovery path; the
+    # spec defaults unset probabilities to 0 so e.g. --retry-attempts
+    # alone retries over a fault-free channel (and stays bit-identical
+    # to a plain run — zero-fault parity).
+    fault_args = (
+        args.channel_loss,
+        args.channel_outage,
+        args.retry_attempts,
+        args.retry_backoff,
+        args.retry_budget,
+    )
+    fault_kwargs: dict = {}
+    if any(value is not None for value in fault_args):
+        from repro.network import FaultSpec, RetryPolicy
+
+        policy_overrides = {}
+        if args.retry_attempts is not None:
+            policy_overrides["max_attempts"] = args.retry_attempts
+        if args.retry_backoff is not None:
+            policy_overrides["base_backoff_seconds"] = args.retry_backoff
+        if args.retry_budget is not None:
+            policy_overrides["budget_seconds"] = args.retry_budget
+        fault_kwargs = {
+            "faults": FaultSpec(
+                loss=args.channel_loss or 0.0,
+                outage_enter=args.channel_outage or 0.0,
+            ),
+            "retry": RetryPolicy(**policy_overrides),
+        }
+
     registry = MetricsRegistry()
     collector = None
     if args.trace_out or args.trace_ndjson or args.flight_recorder > 0:
@@ -279,6 +355,8 @@ def main(argv: list[str] | None = None) -> int:
             for name in names:
                 module = _EXPERIMENTS[name]
                 extra = {"workers": workers} if name in _WORKERS_AWARE else {}
+                if name in _FAULT_AWARE:
+                    extra.update(fault_kwargs)
                 print(f"=== {name} " + "=" * max(1, 60 - len(name)))
                 if args.fast and name in _FAST_PARAMS:
                     result = module.run(**_FAST_PARAMS[name], **extra)

@@ -16,12 +16,14 @@ an order of magnitude."
 """
 
 from repro.core.config import VisualPrintConfig
-from repro.core.fingerprint import Fingerprint
-from repro.core.client import ClientStats, VisualPrintClient
+from repro.core.fingerprint import Fingerprint, degradation_keep_counts
+from repro.core.client import ClientStats, OffloadReport, VisualPrintClient
 from repro.core.oracle import OracleLookup, UniquenessOracle
 from repro.core.server import LocalizationAnswer, VisualPrintServer
 from repro.core.updates import (
     OracleDelta,
+    OracleRefresher,
+    RefreshReport,
     apply_delta,
     choose_refresh_payload,
     diff_counting_filters,
@@ -31,13 +33,17 @@ __all__ = [
     "ClientStats",
     "Fingerprint",
     "LocalizationAnswer",
+    "OffloadReport",
     "OracleDelta",
     "OracleLookup",
+    "OracleRefresher",
+    "RefreshReport",
     "UniquenessOracle",
     "VisualPrintClient",
     "VisualPrintServer",
     "VisualPrintConfig",
     "apply_delta",
     "choose_refresh_payload",
+    "degradation_keep_counts",
     "diff_counting_filters",
 ]

@@ -18,22 +18,26 @@ the registry; new code should use ``client.metrics`` and
 from __future__ import annotations
 
 import warnings
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import VisualPrintConfig
-from repro.core.fingerprint import Fingerprint
+from repro.core.fingerprint import Fingerprint, degradation_keep_counts
 from repro.core.oracle import UniquenessOracle
 from repro.features.keypoint import KeypointSet
+from repro.features.serialize import serialized_size
 from repro.features.sift import SiftExtractor, SiftParams
+from repro.network.faults import RetryPolicy, SubmissionOutcome, submit_payload
 from repro.obs import (
     DEFAULT_BYTE_BUCKETS,
     MetricsRegistry,
     Tracer,
     resolve_registry,
+    use_trace_context,
 )
 
-__all__ = ["ClientStats", "VisualPrintClient"]
+__all__ = ["ClientStats", "OffloadReport", "VisualPrintClient"]
 
 #: Stages with a per-frame latency histogram (``client_<stage>_seconds``).
 _STAGES = ("sift", "oracle", "serialize")
@@ -106,6 +110,21 @@ class ClientStats:
         return self._stage_samples("oracle")
 
 
+@dataclass(frozen=True)
+class OffloadReport:
+    """One frame's shutter-to-uplink outcome (see :meth:`offload_frame`).
+
+    ``status`` is ``"rejected"`` (blur gate, nothing uploaded),
+    ``"delivered"`` (full fingerprint), ``"degraded"`` (a shrunken
+    fingerprint made it through), or ``"abandoned"`` (retry budget
+    exhausted).
+    """
+
+    status: str
+    fingerprint: Fingerprint | None
+    outcome: SubmissionOutcome | None
+
+
 class VisualPrintClient:
     """Extract → rank by uniqueness → upload only the top-k."""
 
@@ -116,6 +135,9 @@ class VisualPrintClient:
         sift_params: SiftParams | None = None,
         blur_detector: "BlurDetector | None" = None,
         registry: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        degrade_floor: int = 16,
+        degrade_steps: int = 2,
     ) -> None:
         self.oracle = oracle
         self.config = config or oracle.config
@@ -127,6 +149,12 @@ class VisualPrintClient:
         self.blur_detector = blur_detector
         self._registry = resolve_registry(registry)
         self.tracer = Tracer(self._registry)
+        self.retry_policy = retry_policy
+        self.degrade_floor = int(degrade_floor)
+        self.degrade_steps = int(degrade_steps)
+        # How many ladder rungs recent submissions had to step down;
+        # starts the next submission pre-degraded (see DESIGN.md §9).
+        self._backpressure_level = 0
         self._stats_view: ClientStats | None = None
         self._m_stage_seconds = {
             stage: self._registry.histogram(
@@ -265,6 +293,92 @@ class VisualPrintClient:
                 return None
             keypoints = self.extract_keypoints(image)
             return self.fingerprint_keypoints(keypoints, frame_index=frame_index)
+
+    # ------------------------------------------------------------------
+    # Recovery: retries, degradation, backpressure
+    # ------------------------------------------------------------------
+
+    @property
+    def backpressure_level(self) -> int:
+        """Current degradation-ladder starting rung (0 = full quality)."""
+        return self._backpressure_level
+
+    def degradation_ladder(self, fingerprint: Fingerprint) -> list[int]:
+        """Payload sizes from full quality downward for one fingerprint.
+
+        Rung 0 is the fingerprint as-is; each further rung halves the
+        keypoint budget (keeping the most-unique prefix) down to
+        ``degrade_floor``.  Sizes follow the fixed-width wire format, so
+        no serialization happens here.
+        """
+        return [
+            serialized_size(count)
+            for count in degradation_keep_counts(
+                len(fingerprint),
+                floor=self.degrade_floor,
+                max_steps=self.degrade_steps,
+            )
+        ]
+
+    def submit_fingerprint(
+        self,
+        fingerprint: Fingerprint,
+        channel,
+        rng: np.random.Generator | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> SubmissionOutcome:
+        """Push one fingerprint through ``channel`` with retries.
+
+        Failed attempts step down the degradation ladder; persistent
+        trouble raises :attr:`backpressure_level` so the *next*
+        submission starts pre-shrunk, and a delivery at any rung probes
+        one rung back up (additive-increase / additive-decrease).  On a
+        fault-free channel this is exactly one ``transfer_seconds``
+        call — zero-fault parity with driving the channel directly.
+        """
+        policy = retry_policy or self.retry_policy or RetryPolicy()
+        ladder = self.degradation_ladder(fingerprint)
+        start = min(self._backpressure_level, len(ladder) - 1)
+        outcome = submit_payload(
+            channel,
+            ladder,
+            policy,
+            rng,
+            registry=self._registry,
+            start_step=start,
+        )
+        if outcome.delivered:
+            self._backpressure_level = max(0, outcome.ladder_step - 1)
+        else:
+            self._backpressure_level = min(
+                self._backpressure_level + 1, len(ladder) - 1
+            )
+        return outcome
+
+    def offload_frame(
+        self,
+        image: np.ndarray,
+        channel,
+        frame_index: int = 0,
+        rng: np.random.Generator | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> OffloadReport:
+        """Full shutter-to-uplink path: process the frame, then submit it.
+
+        The submission joins the frame's trace (one ``trace_id`` from
+        SIFT through the last channel attempt).  A blur-rejected frame
+        never touches the channel.
+        """
+        fingerprint = self.process_frame(image, frame_index=frame_index)
+        if fingerprint is None:
+            return OffloadReport(status="rejected", fingerprint=None, outcome=None)
+        with use_trace_context(self.tracer.last_context()):
+            outcome = self.submit_fingerprint(
+                fingerprint, channel, rng=rng, retry_policy=retry_policy
+            )
+        return OffloadReport(
+            status=outcome.status, fingerprint=fingerprint, outcome=outcome
+        )
 
     def _account(self, keypoints: KeypointSet, fingerprint: Fingerprint) -> None:
         with self.tracer.span("serialize") as span:

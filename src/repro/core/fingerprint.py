@@ -15,7 +15,24 @@ import numpy as np
 from repro.features.keypoint import KeypointSet
 from repro.features.serialize import deserialize_keypoints, serialize_keypoints
 
-__all__ = ["Fingerprint"]
+__all__ = ["Fingerprint", "degradation_keep_counts"]
+
+
+def degradation_keep_counts(
+    count: int, floor: int = 16, max_steps: int = 2
+) -> list[int]:
+    """Keypoint budgets for progressively smaller resubmissions.
+
+    Starts at the full fingerprint and halves up to ``max_steps`` times,
+    never dropping below ``floor`` keypoints — below that a fingerprint
+    stops carrying enough unique features to vote a scene (cf. the
+    Fig. 13 small-count regime).  Keypoints are stored most-unique
+    first, so "the first k" is exactly "the k most unique".
+    """
+    counts = [int(count)]
+    while counts[-1] // 2 >= floor and len(counts) <= max_steps:
+        counts.append(counts[-1] // 2)
+    return counts
 
 
 @dataclass(frozen=True)
@@ -40,6 +57,24 @@ class Fingerprint:
     @property
     def upload_bytes(self) -> int:
         return len(self.to_bytes())
+
+    def truncate(self, count: int) -> "Fingerprint":
+        """The same fingerprint keeping only its ``count`` most-unique keypoints.
+
+        Keypoints are stored in uniqueness-rank order, so truncation is
+        a prefix — this is the degradation move the client makes under
+        network backpressure.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count >= len(self):
+            return self
+        kept = np.arange(count)
+        return Fingerprint(
+            keypoints=self.keypoints.select(kept),
+            uniqueness_counts=self.uniqueness_counts[:count],
+            frame_index=self.frame_index,
+        )
 
     @classmethod
     def from_bytes(cls, payload: bytes, frame_index: int = 0) -> "Fingerprint":

@@ -31,7 +31,12 @@ from functools import partial
 
 import numpy as np
 
-from repro.bloom.container import BloomSnapshot, serialize_counting
+from repro.bloom.container import (
+    DEFAULT_GZIP_LEVEL,
+    BloomSnapshot,
+    serialize_counting,
+    serialize_verification,
+)
 from repro.bloom.counting import CountingBloomFilter
 from repro.bloom.verification import VerificationBloomFilter
 from repro.core.config import VisualPrintConfig
@@ -117,6 +122,7 @@ class UniquenessOracle:
             num_bits=cfg.verification_bits, seed=cfg.seed + 202
         )
         self._inserted = 0
+        self._download_cache: tuple[tuple[int, int], int] | None = None
         self._registry = resolve_registry(registry)
         self.tracer = Tracer(self._registry)
         # Instrument handles are bound once: the counts() hot path pays
@@ -480,16 +486,36 @@ class UniquenessOracle:
     # Transfer
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> BloomSnapshot:
+    def snapshot(self, gzip_level: int = DEFAULT_GZIP_LEVEL) -> BloomSnapshot:
         """The GZIP'd download the client fetches ("approximately 10MB")."""
-        return serialize_counting(self.counting)
+        return serialize_counting(self.counting, gzip_level)
 
-    def download_bytes(self) -> int:
-        """Size of the compressed client download (counting + verification)."""
-        import gzip
+    def download_bytes(self, gzip_level: int = DEFAULT_GZIP_LEVEL) -> int:
+        """Size of the compressed client download (counting + verification).
 
-        verification_payload = gzip.compress(self.verification.packed_bytes(), 6)
-        return self.snapshot().compressed_bytes + len(verification_payload)
+        Both filters route through the serialization container at the
+        same GZIP level.  Compressing a multi-megabyte filter pair is
+        the expensive part of size accounting, so the result is cached
+        until the next insertion changes the filters.
+        """
+        key = (self._inserted, gzip_level)
+        if self._download_cache is not None and self._download_cache[0] == key:
+            return self._download_cache[1]
+        total = (
+            self.snapshot(gzip_level).compressed_bytes
+            + serialize_verification(self.verification, gzip_level).compressed_bytes
+        )
+        self._download_cache = (key, total)
+        return total
+
+    def invalidate_transfer_cache(self) -> None:
+        """Drop the cached download size.
+
+        The cache keys on the insertion count, so callers that mutate
+        the filters without inserting (a delta refresh patching
+        ``counting.counters`` in place) must invalidate explicitly.
+        """
+        self._download_cache = None
 
     def storage_bytes(self) -> int:
         """Uncompressed logical size (Fig. 15's in-memory VisualPrint bar)."""

@@ -12,6 +12,18 @@ For modest growth between refreshes the delta is a small fraction of a
 full snapshot; :func:`choose_refresh_payload` picks whichever is smaller
 (heavy growth eventually favors the full snapshot, which the format
 signals explicitly).
+
+Delta wire format (v2): the header carries the target filter's full
+geometry — ``num_counters``, ``num_hashes``, ``bits_per_counter`` and
+the hash-family seed — so :func:`apply_delta` can refuse to patch a
+filter the delta was not diffed against.  v1 headers recorded only
+``num_counters``; a v1 payload whose other fields mismatch the base is
+indistinguishable from a valid one, so v1 is rejected outright.
+
+:class:`OracleRefresher` drives the refresh over a (possibly faulty)
+channel: on delivery it applies the delta or snapshot; on failure the
+client keeps serving from its stale filter and the gap is surfaced as
+the ``oracle_staleness_seconds`` gauge.
 """
 
 from __future__ import annotations
@@ -22,18 +34,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bloom.container import deserialize_counting
 from repro.bloom.counting import CountingBloomFilter
 from repro.core.oracle import UniquenessOracle
+from repro.network.faults import RetryPolicy, SubmissionOutcome, submit_payload
+from repro.obs import MetricsRegistry, record_span, resolve_registry
 
 __all__ = [
     "OracleDelta",
+    "OracleRefresher",
+    "RefreshReport",
     "apply_delta",
     "choose_refresh_payload",
     "diff_counting_filters",
 ]
 
 _MAGIC = b"VPDT"
-_HEADER = struct.Struct("<4sIII")  # magic, version, num_counters, num_changes
+# v2: magic, version, num_counters, num_changes, num_hashes,
+# bits_per_counter, hash seed (signed 8-byte — seeds may be negative).
+_HEADER = struct.Struct("<4sIIIIIq")
+_HEADER_V1 = struct.Struct("<4sIII")
+_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -57,12 +78,27 @@ def diff_counting_filters(
         raise ValueError("filters must have the same geometry to diff")
     if old.num_hashes != new.num_hashes:
         raise ValueError("filters must share their hash configuration")
+    if old.bits_per_counter != new.bits_per_counter:
+        raise ValueError("filters must share their counter width to diff")
+    if old.hash_seed != new.hash_seed:
+        raise ValueError("filters must share their hash seed to diff")
     changed = np.flatnonzero(old.counters != new.counters)
     body = (
         changed.astype("<u4").tobytes()
         + new.counters[changed].astype("<u2").tobytes()
     )
-    raw = _HEADER.pack(_MAGIC, 1, new.num_counters, changed.size) + body
+    raw = (
+        _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            new.num_counters,
+            changed.size,
+            new.num_hashes,
+            new.bits_per_counter,
+            new.hash_seed,
+        )
+        + body
+    )
     return OracleDelta(
         payload=gzip.compress(raw, compresslevel=gzip_level),
         num_changes=int(changed.size),
@@ -70,23 +106,64 @@ def diff_counting_filters(
     )
 
 
-def apply_delta(base: CountingBloomFilter, delta: OracleDelta) -> None:
-    """Patch ``base`` in place to the delta's target version."""
-    raw = gzip.decompress(delta.payload)
-    magic, version, num_counters, num_changes = _HEADER.unpack_from(raw, 0)
+def apply_delta(base: CountingBloomFilter, delta: OracleDelta | bytes) -> None:
+    """Patch ``base`` in place to the delta's target version.
+
+    Accepts an :class:`OracleDelta` or its raw compressed payload (what
+    arrives over the channel).  Every geometry field in the v2 header
+    must match ``base``; a mismatch raises instead of silently writing
+    another filter's counter values into this one.  Applied values are
+    clamped to ``base.saturation`` as a last defense against corrupt
+    payloads (the on-wire ``<u2`` can encode values the filter's
+    ``bits_per_counter`` cannot).
+    """
+    payload = delta.payload if isinstance(delta, OracleDelta) else delta
+    raw = gzip.decompress(payload)
+    magic, version = struct.unpack_from("<4sI", raw, 0)
     if magic != _MAGIC:
         raise ValueError("not a VisualPrint oracle delta (bad magic)")
-    if version != 1:
+    if version == 1:
+        # A v1 header only recorded num_counters: a payload diffed
+        # against a filter with different hashes/width/seed would pass
+        # its checks and corrupt the base — ambiguity we refuse.
+        raise ValueError(
+            "delta format v1 lacks hash-geometry fields and cannot be "
+            "validated; regenerate the delta (format v2)"
+        )
+    if version != _VERSION:
         raise ValueError(f"unsupported delta version {version}")
+    (
+        _,
+        _,
+        num_counters,
+        num_changes,
+        num_hashes,
+        bits_per_counter,
+        hash_seed,
+    ) = _HEADER.unpack_from(raw, 0)
     if num_counters != base.num_counters:
         raise ValueError(
             f"delta targets {num_counters} counters, filter has {base.num_counters}"
+        )
+    if num_hashes != base.num_hashes:
+        raise ValueError(
+            f"delta targets {num_hashes} hashes, filter has {base.num_hashes}"
+        )
+    if bits_per_counter != base.bits_per_counter:
+        raise ValueError(
+            f"delta targets {bits_per_counter}-bit counters, "
+            f"filter has {base.bits_per_counter}-bit"
+        )
+    if hash_seed != base.hash_seed:
+        raise ValueError(
+            f"delta targets hash seed {hash_seed}, filter has {base.hash_seed}"
         )
     offset = _HEADER.size
     indices = np.frombuffer(raw, dtype="<u4", count=num_changes, offset=offset)
     offset += num_changes * 4
     values = np.frombuffer(raw, dtype="<u2", count=num_changes, offset=offset)
-    base.counters[indices.astype(np.int64)] = values
+    clamped = np.minimum(values.astype(np.int64), base.saturation)
+    base.counters[indices.astype(np.int64)] = clamped.astype(np.uint16)
 
 
 def choose_refresh_payload(
@@ -103,3 +180,146 @@ def choose_refresh_payload(
     if delta.compressed_bytes < snapshot.compressed_bytes:
         return "delta", delta.payload
     return "snapshot", snapshot.payload
+
+
+@dataclass(frozen=True)
+class RefreshReport:
+    """One :meth:`OracleRefresher.refresh` attempt, summarized."""
+
+    status: str  # "applied" | "stale"
+    kind: str  # "delta" | "snapshot"
+    payload_bytes: int
+    attempts: int
+    latency_seconds: float
+    staleness_seconds: float
+
+
+class OracleRefresher:
+    """Keeps a client oracle current; degrades gracefully when it can't.
+
+    The refresher downloads the server's delta (or snapshot, whichever
+    is smaller) over ``channel`` with retries.  When every attempt
+    fails, the client's copy is left untouched — it keeps answering
+    uniqueness queries from the stale snapshot — and the age of that
+    snapshot is published as the ``oracle_staleness_seconds`` gauge so
+    dashboards can see how far behind a degraded client is running.
+
+    Time is the caller's simulated clock (``now_seconds``); the
+    refresher never reads the wall clock.
+    """
+
+    def __init__(
+        self,
+        oracle: UniquenessOracle,
+        retry_policy: RetryPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.oracle = oracle
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._registry = resolve_registry(registry)
+        self.last_refresh_seconds = 0.0
+        self._m_staleness = self._registry.gauge(
+            "oracle_staleness_seconds",
+            help="age of the client's oracle copy (0 right after a refresh)",
+        )
+        self._m_refreshes = {
+            outcome: self._registry.counter(
+                "oracle_refreshes_total",
+                help="oracle refresh attempts by outcome",
+                outcome=outcome,
+            )
+            for outcome in ("applied", "failed")
+        }
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._registry
+
+    def staleness_seconds(self, now_seconds: float) -> float:
+        """Age of the client's oracle copy at ``now_seconds``."""
+        return max(0.0, now_seconds - self.last_refresh_seconds)
+
+    def refresh(
+        self,
+        server_oracle: UniquenessOracle,
+        channel=None,
+        rng: np.random.Generator | None = None,
+        now_seconds: float = 0.0,
+    ) -> RefreshReport:
+        """Pull the server's state down; keep the stale copy on failure."""
+        kind, payload = choose_refresh_payload(self.oracle, server_oracle)
+        if channel is not None:
+            outcome = submit_payload(
+                channel,
+                [len(payload)],
+                self.retry_policy,
+                rng,
+                registry=self._registry,
+                leg="down",
+            )
+        else:
+            outcome = SubmissionOutcome(
+                status="delivered",
+                attempts=1,
+                retries=0,
+                latency_seconds=0.0,
+                payload_bytes=len(payload),
+                wasted_seconds=0.0,
+                backoff_seconds=0.0,
+                ladder_step=0,
+            )
+        if not outcome.delivered:
+            staleness = self.staleness_seconds(now_seconds)
+            self._m_staleness.set(staleness)
+            self._m_refreshes["failed"].inc()
+            record_span(
+                "oracle.refresh",
+                outcome.latency_seconds,
+                kind=kind,
+                status="stale",
+                staleness_seconds=staleness,
+            )
+            return RefreshReport(
+                status="stale",
+                kind=kind,
+                payload_bytes=len(payload),
+                attempts=outcome.attempts,
+                latency_seconds=outcome.latency_seconds,
+                staleness_seconds=staleness,
+            )
+        self._apply(kind, payload)
+        self.last_refresh_seconds = now_seconds
+        self._m_staleness.set(0.0)
+        self._m_refreshes["applied"].inc()
+        record_span(
+            "oracle.refresh",
+            outcome.latency_seconds,
+            kind=kind,
+            status="applied",
+            bytes=len(payload),
+        )
+        return RefreshReport(
+            status="applied",
+            kind=kind,
+            payload_bytes=len(payload),
+            attempts=outcome.attempts,
+            latency_seconds=outcome.latency_seconds,
+            staleness_seconds=0.0,
+        )
+
+    def _apply(self, kind: str, payload: bytes) -> None:
+        base = self.oracle.counting
+        if kind == "delta":
+            apply_delta(base, payload)
+        else:
+            fresh = deserialize_counting(payload)
+            if (
+                fresh.num_counters != base.num_counters
+                or fresh.num_hashes != base.num_hashes
+                or fresh.bits_per_counter != base.bits_per_counter
+            ):
+                raise ValueError(
+                    "snapshot geometry does not match the client oracle"
+                )
+            base.counters = fresh.counters
+        self.oracle.invalidate_transfer_cache()

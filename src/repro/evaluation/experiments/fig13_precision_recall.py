@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.fingerprint import degradation_keep_counts
 from repro.evaluation.datasets import build_workload
 from repro.evaluation.retrieval import (
     build_oracle,
@@ -23,9 +24,54 @@ from repro.evaluation.retrieval import (
     run_random,
     run_visualprint,
 )
+from repro.features.serialize import serialized_size
 from repro.matching import LshMatcher
+from repro.network import CHANNEL_PRESETS, FaultSpec, FaultyChannel, RetryPolicy
+from repro.network.faults import submit_payload
+from repro.util.rng import rng_for
 
 __all__ = ["run", "main"]
+
+
+def _replay_uploads(
+    results, seed: int, channel: str, faults: FaultSpec | None, retry: RetryPolicy
+) -> dict:
+    """Re-run every scheme's query uploads through a (faulty) channel.
+
+    The retrieval stage computes each query's uploaded keypoint count;
+    this prices those payloads on the wire and submits them under the
+    retry policy, sequentially in the parent — so the fault pattern is
+    deterministic for a fixed seed and independent of ``workers``.
+    VisualPrint schemes degrade down their fingerprint ladder; the
+    fixed-budget baselines retry the full payload.
+    """
+    uplink = CHANNEL_PRESETS[channel]
+    channel_model = FaultyChannel(uplink, faults) if faults is not None else uplink
+    rng = rng_for(seed, "fig13/uplink")
+    replay: dict[str, dict[str, int]] = {}
+    for result in results:
+        degradable = "visualprint" in result.scheme.lower()
+        counts = {"delivered": 0, "degraded": 0, "abandoned": 0, "retries": 0}
+        for keypoints in result.uploaded_keypoints:
+            ladder_counts = (
+                degradation_keep_counts(int(keypoints))
+                if degradable
+                else [int(keypoints)]
+            )
+            outcome = submit_payload(
+                channel_model,
+                [serialized_size(count) for count in ladder_counts],
+                retry,
+                rng,
+            )
+            counts["retries"] += outcome.retries
+            if outcome.delivered:
+                counts["delivered"] += 1
+                counts["degraded"] += outcome.status == "degraded"
+            else:
+                counts["abandoned"] += 1
+        replay[result.scheme] = counts
+    return replay
 
 
 def run(
@@ -41,12 +87,20 @@ def run(
     include_bruteforce: bool = True,
     cache_dir: str | None = ".cache",
     workers: int = 1,
+    channel: str = "lte",
+    faults: FaultSpec | None = None,
+    retry: RetryPolicy | None = None,
 ) -> dict:
     """Returns per-scheme precision/recall value arrays (CDF inputs).
 
     ``workers`` fans out the three serial hot paths — workload
     extraction, oracle wardrive ingest, and each scheme's query loop —
     across a process pool; results are bit-identical to ``workers=1``.
+
+    With ``retry`` set (the ``--channel-loss`` CLI path), each scheme's
+    query uploads additionally replay through ``channel`` under
+    ``faults`` and the retry policy, adding an ``uplink`` section to the
+    result — the CI lossy smoke gates on its deterministic counts.
     """
     workload = build_workload(
         seed=seed,
@@ -95,7 +149,7 @@ def run(
             run_bruteforce(workload, database, min_votes=min_votes, workers=workers)
         )
     cdfs = evaluate_scheme_cdfs(results, database)
-    return {
+    out = {
         "cdfs": cdfs,
         "mean_query_keypoints": workload.mean_query_keypoints(),
         "num_database_descriptors": workload.num_database_descriptors,
@@ -103,6 +157,9 @@ def run(
             r.scheme: float(r.uploaded_keypoints.mean()) for r in results
         },
     }
+    if retry is not None:
+        out["uplink"] = _replay_uploads(results, seed, channel, faults, retry)
+    return out
 
 
 def main(workers: int = 1, **overrides) -> None:

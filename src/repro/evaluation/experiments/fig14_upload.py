@@ -16,7 +16,13 @@ from repro.core import UniquenessOracle, VisualPrintClient, VisualPrintConfig
 from repro.features import SiftExtractor, SiftParams
 from repro.imaging import to_float, to_uint8
 from repro.imaging.synth import SceneLibrary
-from repro.network import CHANNEL_PRESETS, simulate_stream
+from repro.network import (
+    CHANNEL_PRESETS,
+    FaultSpec,
+    FaultyChannel,
+    RetryPolicy,
+    simulate_stream,
+)
 from repro.parallel import get_shared, parallel_map
 
 __all__ = ["run", "main"]
@@ -57,12 +63,21 @@ def run(
     num_panning_frames: int = 24,
     channel: str = "wifi",
     workers: int = 1,
+    faults: FaultSpec | None = None,
+    retry: RetryPolicy | None = None,
 ) -> dict:
     """Returns the two cumulative-upload traces and their totals.
 
     ``workers`` fans frame extraction, wardrive ingest, and per-frame
     fingerprinting across a process pool; payload sequences are
     bit-identical to ``workers=1``.
+
+    With ``faults``/``retry`` set, each scheme's stream runs through its
+    own seeded :class:`FaultyChannel` (same spec, so both schemes face
+    the identical fault pattern): lost frames retransmit under the
+    policy, burning realtime budget and causing knock-on drops — the
+    cumulative curves separate further because a lost 500 KB frame
+    wastes far more air time than a lost fingerprint.
     """
     library = SceneLibrary(
         seed=seed, num_scenes=2, num_distractors=2, size=(image_size, image_size)
@@ -101,8 +116,18 @@ def run(
         for i in range(total_frames)
     ]
     uplink = CHANNEL_PRESETS[channel]
-    frame_trace = simulate_stream("frame-upload", frame_cycle, uplink, capture_fps)
-    vp_trace = simulate_stream("visualprint", fp_cycle, uplink, capture_fps)
+
+    def _stream_channel():
+        # A fresh wrapper per stream: both schemes replay the same
+        # seeded fault sequence from the same initial link state.
+        return FaultyChannel(uplink, faults) if faults is not None else uplink
+
+    frame_trace = simulate_stream(
+        "frame-upload", frame_cycle, _stream_channel(), capture_fps, retry=retry
+    )
+    vp_trace = simulate_stream(
+        "visualprint", fp_cycle, _stream_channel(), capture_fps, retry=retry
+    )
 
     times = np.arange(0.0, duration_seconds + 1e-9, 5.0)
     return {

@@ -16,6 +16,13 @@ A ``--trace-out`` run additionally yields one correlated trace per
 frame: the "frame" span tree produced in a pool worker plus the
 parent-side ``network.transfer`` span, linked by the frame's trace
 context (returned alongside each payload size).
+
+With ``faults``/``retry`` set (the ``--channel-loss`` / ``--retry-*``
+CLI flags), transfers run through a seeded :class:`FaultyChannel` under
+the retry policy: failed attempts back off and step down the
+fingerprint degradation ladder, and the result gains a ``faults``
+section accounting for every query (delivered + abandoned = frames; no
+silent drops).  A null fault spec is bit-identical to the bare channel.
 """
 
 from __future__ import annotations
@@ -23,9 +30,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import UniquenessOracle, VisualPrintClient, VisualPrintConfig
+from repro.core.fingerprint import degradation_keep_counts
 from repro.features import SiftExtractor, SiftParams
+from repro.features.serialize import serialized_size
 from repro.imaging.synth import SceneLibrary
-from repro.network import CHANNEL_PRESETS
+from repro.network import CHANNEL_PRESETS, FaultSpec, FaultyChannel, RetryPolicy
+from repro.network.faults import submit_payload
 from repro.obs import TraceContext, resolve_registry, use_trace_context
 from repro.parallel import get_shared, parallel_map
 from repro.util.rng import rng_for
@@ -39,18 +49,20 @@ def _make_client() -> tuple:
     return library, VisualPrintClient(oracle, config)
 
 
-def _process_frame(frame: int, context: tuple) -> tuple[int, TraceContext | None]:
-    """Fingerprint one frame; returns (payload size, frame trace context).
+def _process_frame(frame: int, context: tuple) -> tuple[int, int, TraceContext | None]:
+    """Fingerprint one frame; returns (payload size, keypoints, trace ctx).
 
     The trace context travels back to the parent so the channel
     transfer — applied sequentially after the pool for rng determinism —
     can join the frame's trace (one ``trace_id`` per query end to end).
+    The keypoint count lets the parent build the degradation ladder
+    without shipping the fingerprint itself across the pool.
     """
     library, client = context
     scene = frame % library.num_scenes
     view = frame % library.views_per_scene
     fingerprint = client.process_frame(library.query_view(scene, view), frame)
-    return fingerprint.upload_bytes, client.tracer.last_context()
+    return fingerprint.upload_bytes, len(fingerprint), client.tracer.last_context()
 
 
 def run(
@@ -60,15 +72,17 @@ def run(
     fingerprint_size: int = 200,
     channel: str = "wifi",
     workers: int = 1,
+    faults: FaultSpec | None = None,
+    retry: RetryPolicy | None = None,
 ) -> dict:
     """Returns per-frame SIFT, oracle, and transfer latency samples.
 
     ``workers`` fans the frame loop across a process pool; each worker
     constructs its own :class:`VisualPrintClient` (in ``chunk_setup``)
     so the per-frame latency histograms merge back into this run's
-    registry in deterministic chunk order.  Transfer jitter is applied
-    in the parent, consuming the rng stream sequentially, so the
-    transfer samples match a serial run exactly.
+    registry in deterministic chunk order.  Transfer jitter — and every
+    fault/retry decision — is applied in the parent, consuming its rng
+    streams sequentially, so the samples match a serial run exactly.
     """
     library = SceneLibrary(
         seed=seed,
@@ -98,26 +112,58 @@ def run(
         chunk_setup=_make_client,
         registry=registry,
     )
-    upload_bytes = [size for size, _ in outcomes]
+    upload_bytes = [size for size, _, _ in outcomes]
 
     uplink = CHANNEL_PRESETS[channel]
+    channel_model = (
+        FaultyChannel(uplink, faults) if faults is not None else uplink
+    )
     rng = rng_for(seed, "fig16/jitter")
     transfer = []
-    for size, trace_context in outcomes:
-        # Each simulated transfer joins its originating frame's trace.
-        with use_trace_context(trace_context):
-            transfer.append(uplink.transfer_seconds(size, rng))
+    result_extra: dict = {}
+    if retry is None:
+        for size, _, trace_context in outcomes:
+            # Each simulated transfer joins its originating frame's trace.
+            with use_trace_context(trace_context):
+                transfer.append(channel_model.transfer_seconds(size, rng))
+    else:
+        delivered = degraded = abandoned = retries = 0
+        for size, num_keypoints, trace_context in outcomes:
+            ladder = [
+                serialized_size(count)
+                for count in degradation_keep_counts(num_keypoints)
+            ]
+            with use_trace_context(trace_context):
+                outcome = submit_payload(
+                    channel_model, ladder, retry, rng, registry=registry
+                )
+            retries += outcome.retries
+            if outcome.delivered:
+                delivered += 1
+                degraded += outcome.status == "degraded"
+                transfer.append(outcome.latency_seconds)
+            else:
+                abandoned += 1
+        result_extra["faults"] = {
+            "delivered": delivered,
+            "degraded": degraded,
+            "abandoned": abandoned,
+            "retries": retries,
+        }
 
     sift = np.array(registry.histogram("client_sift_seconds").values())
     oracle_t = np.array(registry.histogram("client_oracle_seconds").values())
+    transfer_arr = np.array(transfer) if transfer else np.zeros(0)
     return {
         "sift_seconds": sift,
         "oracle_seconds": oracle_t,
-        "transfer_seconds": np.array(transfer),
+        "transfer_seconds": transfer_arr,
+        "upload_bytes": np.array(upload_bytes),
         "median_sift": float(np.median(sift)),
         "median_oracle": float(np.median(oracle_t)),
-        "median_transfer": float(np.median(transfer)),
+        "median_transfer": float(np.median(transfer_arr)) if transfer else 0.0,
         "ratio": float(np.median(sift) / max(np.median(oracle_t), 1e-9)),
+        **result_extra,
     }
 
 
@@ -134,6 +180,12 @@ def main(workers: int = 1, **overrides) -> None:
         f"median ratio SIFT/oracle: {result['ratio']:.1f}x "
         "(paper: 3300 ms / 217 ms ~ 15x)"
     )
+    if "faults" in result:
+        f = result["faults"]
+        print(
+            f"faults: delivered {f['delivered']} (degraded {f['degraded']}), "
+            f"abandoned {f['abandoned']}, retries {f['retries']}"
+        )
 
 
 if __name__ == "__main__":

@@ -27,7 +27,12 @@ import numpy as np
 
 from repro.features.keypoint import DESCRIPTOR_DIM, KeypointSet
 
-__all__ = ["keypoint_record_bytes", "serialize_keypoints", "deserialize_keypoints"]
+__all__ = [
+    "keypoint_record_bytes",
+    "serialize_keypoints",
+    "serialized_size",
+    "deserialize_keypoints",
+]
 
 _HEADER = struct.Struct("<4sI")
 _MAGIC = b"VPKP"
@@ -36,6 +41,17 @@ _MAGIC = b"VPKP"
 def keypoint_record_bytes() -> int:
     """Bytes per serialized keypoint record."""
     return 4 * 4 + DESCRIPTOR_DIM
+
+
+def serialized_size(count: int) -> int:
+    """Uncompressed wire bytes for a ``count``-keypoint payload.
+
+    Lets degradation planning price a shrunken fingerprint without
+    serializing it: header plus ``count`` fixed-width records.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return _HEADER.size + count * keypoint_record_bytes()
 
 
 def serialize_keypoints(keypoints: KeypointSet, compress: bool = False) -> bytes:

@@ -4,19 +4,34 @@ Figure 2 ("uplink bandwidth versus sustainable frames per second, by
 encoding") and Figure 14 ("cumulative data upload by execution time")
 are deterministic functions of payload sizes and channel rate; this
 package provides those functions plus LTE/WiFi presets with jitter for
-latency experiments.
+latency experiments, and a seeded fault-injection layer
+(:class:`FaultyChannel`, :class:`RetryPolicy`) for chaos runs.
 """
 
 from repro.network.channel import CHANNEL_PRESETS, UplinkChannel
+from repro.network.faults import (
+    FaultSpec,
+    FaultyChannel,
+    RetryPolicy,
+    SubmissionOutcome,
+    TransferError,
+    submit_payload,
+)
 from repro.network.fps import sustainable_fps, fps_curve
 from repro.network.upload import UploadEvent, UploadTrace, simulate_stream
 
 __all__ = [
     "CHANNEL_PRESETS",
+    "FaultSpec",
+    "FaultyChannel",
+    "RetryPolicy",
+    "SubmissionOutcome",
+    "TransferError",
     "UplinkChannel",
     "UploadEvent",
     "UploadTrace",
     "fps_curve",
     "simulate_stream",
+    "submit_payload",
     "sustainable_fps",
 ]

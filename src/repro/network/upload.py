@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.network.channel import UplinkChannel
+from repro.network.faults import RetryPolicy, TransferError
 from repro.obs import current_registry
 
 __all__ = ["UploadEvent", "UploadTrace", "simulate_stream"]
@@ -56,6 +57,7 @@ def simulate_stream(
     channel: UplinkChannel,
     capture_fps: float = 10.0,
     drop_when_backlogged: bool = True,
+    retry: RetryPolicy | None = None,
 ) -> UploadTrace:
     """Run a capture session through the uplink.
 
@@ -64,30 +66,80 @@ def simulate_stream(
     (the paper's client "rejects frames when processing falls behind the
     realtime stream") unless ``drop_when_backlogged`` is False, in which
     case frames queue.
+
+    With ``retry`` set and a fault-injecting channel (one that exposes
+    ``attempt_serialization_seconds``), lost frames are retransmitted
+    under the policy: failed attempts and backoff pauses occupy the
+    uplink, so faults cost realtime budget and cause knock-on drops.
+    Frames that exhaust the policy are counted in
+    ``network_frames_abandoned_total`` — never silently discarded.
     """
     if capture_fps <= 0:
         raise ValueError(f"capture_fps must be positive, got {capture_fps}")
     trace = UploadTrace(scheme=scheme)
+    registry = current_registry()
+    attempt_seconds = getattr(
+        channel, "attempt_serialization_seconds", channel.serialization_seconds
+    )
     uplink_free_at = 0.0
     cumulative = 0
     dropped = 0
+    abandoned = 0
+    retries = 0
     for frame_index, payload in enumerate(payload_bytes_per_frame):
         capture_time = frame_index / capture_fps
         if drop_when_backlogged and uplink_free_at > capture_time:
             dropped += 1
             continue
         start = max(capture_time, uplink_free_at)
-        finish = start + channel.serialization_seconds(payload)
-        uplink_free_at = finish
-        cumulative += payload
-        trace.events.append(
-            UploadEvent(
-                time_seconds=finish,
-                payload_bytes=payload,
-                cumulative_bytes=cumulative,
+        if retry is None:
+            uplink_free_at = start + channel.serialization_seconds(payload)
+            delivered = True
+        else:
+            elapsed = 0.0
+            delivered = False
+            for attempt_index in range(1, retry.max_attempts + 1):
+                try:
+                    elapsed += attempt_seconds(payload)
+                except TransferError as fault:
+                    elapsed += fault.elapsed_seconds
+                    if (
+                        attempt_index >= retry.max_attempts
+                        or elapsed >= retry.budget_seconds
+                    ):
+                        break
+                    pause = retry.backoff_seconds(attempt_index)
+                    if elapsed + pause >= retry.budget_seconds:
+                        break
+                    elapsed += pause
+                    retries += 1
+                    continue
+                delivered = True
+                break
+            uplink_free_at = start + elapsed
+        if delivered:
+            cumulative += payload
+            trace.events.append(
+                UploadEvent(
+                    time_seconds=uplink_free_at,
+                    payload_bytes=payload,
+                    cumulative_bytes=cumulative,
+                )
             )
-        )
-    registry = current_registry()
+        else:
+            abandoned += 1
+    if registry is not None and retries:
+        registry.counter(
+            "network_retries_total",
+            help="resubmissions after a failed transfer attempt",
+            channel=getattr(channel, "name", "channel"),
+        ).inc(retries)
+    if registry is not None and abandoned:
+        registry.counter(
+            "network_frames_abandoned_total",
+            help="frames that exhausted their retransmission budget",
+            scheme=scheme,
+        ).inc(abandoned)
     if registry is not None:
         registry.counter(
             "network_payloads_total",

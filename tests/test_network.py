@@ -71,7 +71,9 @@ class TestChannelMetrics:
         channel = self._channel()
         with use_registry(registry):
             seconds = channel.transfer_seconds(125_000)
-        histogram = registry.histogram("network_transfer_seconds", channel="t")
+        histogram = registry.histogram(
+            "network_transfer_seconds", channel="t", direction="up"
+        )
         assert histogram.count == 1
         assert histogram.sum == pytest.approx(seconds)
         assert seconds == pytest.approx(1.02)  # 1 s serialization + half RTT
@@ -92,11 +94,45 @@ class TestChannelMetrics:
         channel = self._channel()
         with use_registry(registry):
             channel.round_trip_seconds(10_000, response_bytes=256)
-        histogram = registry.histogram("network_transfer_seconds", channel="t")
-        assert histogram.count == 2
-        assert registry.counter("network_upload_bytes_total", channel="t").value == (
-            10_000 + 256
+        up = registry.histogram(
+            "network_transfer_seconds", channel="t", direction="up"
         )
+        down = registry.histogram(
+            "network_transfer_seconds", channel="t", direction="down"
+        )
+        assert up.count == 1 and down.count == 1
+        # Only the uplink leg counts as upload; the response is downlink.
+        assert (
+            registry.counter("network_upload_bytes_total", channel="t").value == 10_000
+        )
+        assert (
+            registry.counter("network_download_bytes_total", channel="t").value == 256
+        )
+
+    def test_response_leg_uses_downlink_rate(self):
+        # 1 Mbps up / 4 Mbps down: the response must be 4x faster than
+        # the same payload sent uplink (the old model rated both legs
+        # at the uplink bandwidth).
+        channel = UplinkChannel(
+            "t", bandwidth_mbps=1.0, rtt_ms=40.0, jitter_sigma=0.0, downlink_mbps=4.0
+        )
+        up = channel.transfer_seconds(125_000) - 0.02
+        down = channel.response_seconds(125_000) - 0.02
+        assert up == pytest.approx(4 * down)
+        assert channel.response_serialization_seconds(125_000) == pytest.approx(0.25)
+
+    def test_symmetric_by_default(self):
+        channel = self._channel()
+        assert channel.downlink_mbps is None
+        assert channel.response_seconds(5000) == pytest.approx(
+            channel.transfer_seconds(5000)
+        )
+
+    def test_cellular_presets_are_asymmetric(self):
+        for name in ("3g", "lte"):
+            preset = CHANNEL_PRESETS[name]
+            assert preset.downlink_mbps is not None
+            assert preset.downlink_mbps > preset.bandwidth_mbps
 
     def test_no_registry_no_side_effects(self):
         # Outside use_registry the metrics (and spans) are a no-op.
@@ -117,6 +153,7 @@ class TestChannelMetrics:
         assert span.duration_seconds == pytest.approx(seconds)
         assert span.attributes["bytes"] == 4096
         assert span.attributes["channel"] == "t"
+        assert span.attributes["direction"] == "up"
 
 
 class TestFps:

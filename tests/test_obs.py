@@ -297,7 +297,9 @@ class TestContextualRegistry:
         registry = MetricsRegistry()
         with use_registry(registry):
             channel.transfer_seconds(1000)
-        histogram = registry.get("network_transfer_seconds", channel="wifi")
+        histogram = registry.get(
+            "network_transfer_seconds", channel="wifi", direction="up"
+        )
         assert histogram is not None and histogram.count == 1
         counter = registry.get("network_upload_bytes_total", channel="wifi")
         assert counter.value == 1000
