@@ -69,6 +69,12 @@ def faults_trajectory() -> dict[str, dict]:
     return _TRAJECTORIES.setdefault("BENCH_faults.json", {})
 
 
+@pytest.fixture(scope="session")
+def store_trajectory() -> dict[str, dict]:
+    """Mutable dict the snapshot-store benchmarks fill with rows."""
+    return _TRAJECTORIES.setdefault("BENCH_store.json", {})
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Emit one BENCH_*.json per trajectory the session filled.
 

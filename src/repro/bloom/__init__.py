@@ -12,7 +12,9 @@ from repro.bloom.bloom import BloomFilter, optimal_num_bits, optimal_num_hashes
 from repro.bloom.container import (
     DEFAULT_GZIP_LEVEL,
     BloomSnapshot,
+    SnapshotCorruptError,
     deserialize_counting,
+    deserialize_verification,
     serialize_counting,
     serialize_verification,
 )
@@ -24,8 +26,10 @@ __all__ = [
     "BloomFilter",
     "BloomSnapshot",
     "CountingBloomFilter",
+    "SnapshotCorruptError",
     "VerificationBloomFilter",
     "deserialize_counting",
+    "deserialize_verification",
     "optimal_num_bits",
     "optimal_num_hashes",
     "serialize_counting",

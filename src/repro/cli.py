@@ -19,6 +19,12 @@ back through :mod:`repro.parallel`, so ``--workers N`` loses nothing.
 ``python -m repro metrics-diff BASELINE CURRENT`` is the perf gate: it
 compares two ``--metrics-json`` snapshots against tolerance thresholds
 and exits nonzero on regression (see :mod:`repro.obs.diff`).
+
+``python -m repro verify-state PATH`` is the integrity gate: it audits
+saved server state (an ``.npz`` file or a snapshot-store directory),
+exits nonzero on any corruption, and with ``--rebuild-venue`` can
+reconstruct unrecoverable state from a fresh wardrive (see
+:mod:`repro.store.fsck`).
 """
 
 from __future__ import annotations
@@ -190,6 +196,48 @@ def _run_metrics_diff(argv: list[str]) -> int:
     return 1 if violations else 0
 
 
+def _run_verify_state(argv: list[str]) -> int:
+    """The ``verify-state`` subcommand: fsck for saved server state."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro verify-state",
+        description="Audit a saved-state .npz file or a SnapshotStore "
+        "directory; exit 0 only when every generation verifies.",
+    )
+    parser.add_argument(
+        "path", help="state file (.npz) or snapshot-store directory to audit"
+    )
+    parser.add_argument(
+        "--rebuild-venue",
+        default=None,
+        metavar="VENUE",
+        help="if nothing verifies, re-wardrive this venue (e.g. 'office') "
+        "and commit a fresh generation",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the rebuild wardrive (default 0)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of the human rendering",
+    )
+    args = parser.parse_args(argv)
+    # Imported lazily: the store stack is not needed for experiment runs.
+    from repro.store.fsck import verify_state
+
+    report = verify_state(
+        args.path, rebuild_venue=args.rebuild_venue, seed=args.seed
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def _print_flight_recorder(recorder: FlightRecorder) -> None:
     print("=== flight recorder " + "=" * 41)
     print(
@@ -208,6 +256,8 @@ def main(argv: list[str] | None = None) -> int:
     # parser: it takes file paths, not an experiment name.
     if argv and argv[0] == "metrics-diff":
         return _run_metrics_diff(argv[1:])
+    if argv and argv[0] == "verify-state":
+        return _run_verify_state(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce a figure from 'Low Bandwidth Offload for Mobile AR'.",

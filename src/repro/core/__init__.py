@@ -23,10 +23,12 @@ from repro.core.server import LocalizationAnswer, VisualPrintServer
 from repro.core.updates import (
     OracleDelta,
     OracleRefresher,
+    QuarantinedPayload,
     RefreshReport,
     apply_delta,
     choose_refresh_payload,
     diff_counting_filters,
+    parse_delta,
 )
 
 __all__ = [
@@ -37,6 +39,7 @@ __all__ = [
     "OracleDelta",
     "OracleLookup",
     "OracleRefresher",
+    "QuarantinedPayload",
     "RefreshReport",
     "UniquenessOracle",
     "VisualPrintClient",
@@ -46,4 +49,5 @@ __all__ = [
     "choose_refresh_payload",
     "degradation_keep_counts",
     "diff_counting_filters",
+    "parse_delta",
 ]

@@ -239,6 +239,57 @@ class UniquenessOracle:
             self.verification.add(indices)
         self._inserted += num_descriptors
 
+    def restore_counts(
+        self,
+        counters: np.ndarray,
+        verification_bits: bytes | None = None,
+        inserted_count: int = 0,
+    ) -> None:
+        """Replace this oracle's filter state with persisted state.
+
+        The public restore path (persistence and snapshot stores route
+        through it instead of poking ``oracle.counting.counters`` and
+        ``oracle._inserted`` directly).  Inputs are validated before
+        anything is mutated — a corrupt array raises
+        :class:`repro.bloom.SnapshotCorruptError` and leaves the oracle
+        untouched.
+        """
+        from repro.bloom.container import SnapshotCorruptError
+
+        counters = np.asarray(counters)
+        if counters.shape != (self.counting.num_counters,):
+            raise SnapshotCorruptError(
+                f"restored counters have shape {counters.shape}, this oracle "
+                f"needs ({self.counting.num_counters},)"
+            )
+        if not np.issubdtype(counters.dtype, np.integer):
+            raise SnapshotCorruptError(
+                f"restored counters must be integers, got {counters.dtype}"
+            )
+        if counters.size and (
+            int(counters.min()) < 0
+            or int(counters.max()) > self.counting.saturation
+        ):
+            raise SnapshotCorruptError(
+                f"restored counters fall outside [0, {self.counting.saturation}]"
+            )
+        if inserted_count < 0:
+            raise SnapshotCorruptError(
+                f"restored insertion count is negative ({inserted_count})"
+            )
+        expected_bits = (self.verification.num_bits + 7) // 8
+        if verification_bits is not None and len(verification_bits) != expected_bits:
+            raise SnapshotCorruptError(
+                f"restored verification filter is {len(verification_bits)} "
+                f"bytes, this oracle needs {expected_bits}"
+            )
+        self.counting.counters = counters.astype(np.uint16).copy()
+        if verification_bits is not None:
+            self.verification.load_packed_bytes(verification_bits)
+        self._inserted = int(inserted_count)
+        self.invalidate_transfer_cache()
+        self._m_saturation.set(self.saturation_ratio())
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

@@ -140,6 +140,58 @@ class VisualPrintServer:
         self._m_ingest_bytes.observe(descriptors.nbytes)
         self._m_ingest_descriptors.inc(descriptors.shape[0])
 
+    def restore_state(
+        self,
+        descriptors: np.ndarray,
+        positions: np.ndarray,
+        bounds: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        """Replace the keypoint-to-3D table with persisted state.
+
+        The public restore path: rebuilds the LSH lookup table from the
+        saved descriptor rows *without* re-curating the oracle (restored
+        counters are authoritative — see
+        :meth:`repro.core.UniquenessOracle.restore_counts`).  Inputs are
+        validated before anything is mutated; a corrupt table raises
+        :class:`repro.bloom.SnapshotCorruptError` and leaves the server
+        untouched.
+        """
+        from repro.bloom.container import SnapshotCorruptError
+
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        positions = np.asarray(positions, dtype=np.float64)
+        if descriptors.ndim != 2:
+            raise SnapshotCorruptError(
+                f"restored descriptors must be 2-D, got shape {descriptors.shape}"
+            )
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise SnapshotCorruptError(
+                f"restored positions must be (n, 3), got shape {positions.shape}"
+            )
+        if descriptors.shape[0] != positions.shape[0]:
+            raise SnapshotCorruptError(
+                f"restored table misaligned: {descriptors.shape[0]} descriptors "
+                f"vs {positions.shape[0]} positions"
+            )
+        if not np.isfinite(positions).all():
+            raise SnapshotCorruptError("restored positions contain non-finite values")
+        if bounds is not None:
+            low, high = (np.asarray(b, dtype=np.float64) for b in bounds)
+            if low.shape != (3,) or high.shape != (3,):
+                raise SnapshotCorruptError(
+                    "restored bounds must be a pair of 3-vectors"
+                )
+            if not (np.isfinite(low).all() and np.isfinite(high).all()):
+                raise SnapshotCorruptError("restored bounds are non-finite")
+            self._bounds = (low, high)
+        if descriptors.shape[0]:
+            self._descriptors = [descriptors.copy()]
+            self._positions = [positions.copy()]
+            self.lookup.build(descriptors, np.arange(descriptors.shape[0]))
+        else:
+            self._descriptors = []
+            self._positions = []
+
     @property
     def num_mappings(self) -> int:
         return sum(d.shape[0] for d in self._descriptors)
@@ -149,6 +201,13 @@ class VisualPrintServer:
         if not self._positions:
             return np.empty((0, 3))
         return np.vstack(self._positions)
+
+    @property
+    def descriptors(self) -> np.ndarray:
+        """All ingested descriptor rows (the persisted lookup-table keys)."""
+        if not self._descriptors:
+            return np.empty((0, 128), dtype=np.float32)
+        return np.vstack(self._descriptors)
 
     def bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Venue extents for the solver's search box."""

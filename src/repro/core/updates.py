@@ -30,23 +30,28 @@ from __future__ import annotations
 
 import gzip
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bloom.container import deserialize_counting
+from repro.bloom.container import SnapshotCorruptError
 from repro.bloom.counting import CountingBloomFilter
 from repro.core.oracle import UniquenessOracle
 from repro.network.faults import RetryPolicy, SubmissionOutcome, submit_payload
+from repro.network.upload import record_wasted_transfer
 from repro.obs import MetricsRegistry, record_span, resolve_registry
+from repro.store.validate import validate_refresh_payload
 
 __all__ = [
     "OracleDelta",
     "OracleRefresher",
+    "QuarantinedPayload",
     "RefreshReport",
     "apply_delta",
     "choose_refresh_payload",
     "diff_counting_filters",
+    "parse_delta",
 ]
 
 _MAGIC = b"VPDT"
@@ -106,32 +111,45 @@ def diff_counting_filters(
     )
 
 
-def apply_delta(base: CountingBloomFilter, delta: OracleDelta | bytes) -> None:
-    """Patch ``base`` in place to the delta's target version.
+def parse_delta(
+    base: CountingBloomFilter, delta: OracleDelta | bytes
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode and fully validate a delta against ``base`` without applying.
 
-    Accepts an :class:`OracleDelta` or its raw compressed payload (what
-    arrives over the channel).  Every geometry field in the v2 header
-    must match ``base``; a mismatch raises instead of silently writing
-    another filter's counter values into this one.  Applied values are
-    clamped to ``base.saturation`` as a last defense against corrupt
-    payloads (the on-wire ``<u2`` can encode values the filter's
-    ``bits_per_counter`` cannot).
+    Returns the ``(indices, values)`` pair of the sparse update.  Every
+    failure mode — a damaged GZIP stream, a truncated header, geometry
+    or hash-seed mismatch, a body whose length disagrees with the
+    header's ``num_changes``, or counter indices beyond the filter —
+    raises :class:`repro.bloom.SnapshotCorruptError` (a
+    :class:`ValueError` subclass), so nothing corrupt ever reaches the
+    assignment.
     """
     payload = delta.payload if isinstance(delta, OracleDelta) else delta
-    raw = gzip.decompress(payload)
+    try:
+        raw = gzip.decompress(payload)
+    except (OSError, EOFError, zlib.error) as error:
+        raise SnapshotCorruptError(f"delta payload is not valid GZIP: {error}")
+    if len(raw) < struct.calcsize("<4sI"):
+        raise SnapshotCorruptError(
+            f"delta truncated before its header ({len(raw)} bytes)"
+        )
     magic, version = struct.unpack_from("<4sI", raw, 0)
     if magic != _MAGIC:
-        raise ValueError("not a VisualPrint oracle delta (bad magic)")
+        raise SnapshotCorruptError("not a VisualPrint oracle delta (bad magic)")
     if version == 1:
         # A v1 header only recorded num_counters: a payload diffed
         # against a filter with different hashes/width/seed would pass
         # its checks and corrupt the base — ambiguity we refuse.
-        raise ValueError(
+        raise SnapshotCorruptError(
             "delta format v1 lacks hash-geometry fields and cannot be "
             "validated; regenerate the delta (format v2)"
         )
     if version != _VERSION:
-        raise ValueError(f"unsupported delta version {version}")
+        raise SnapshotCorruptError(f"unsupported delta version {version}")
+    if len(raw) < _HEADER.size:
+        raise SnapshotCorruptError(
+            f"delta truncated before its header ({len(raw)} bytes)"
+        )
     (
         _,
         _,
@@ -142,26 +160,51 @@ def apply_delta(base: CountingBloomFilter, delta: OracleDelta | bytes) -> None:
         hash_seed,
     ) = _HEADER.unpack_from(raw, 0)
     if num_counters != base.num_counters:
-        raise ValueError(
+        raise SnapshotCorruptError(
             f"delta targets {num_counters} counters, filter has {base.num_counters}"
         )
     if num_hashes != base.num_hashes:
-        raise ValueError(
+        raise SnapshotCorruptError(
             f"delta targets {num_hashes} hashes, filter has {base.num_hashes}"
         )
     if bits_per_counter != base.bits_per_counter:
-        raise ValueError(
+        raise SnapshotCorruptError(
             f"delta targets {bits_per_counter}-bit counters, "
             f"filter has {base.bits_per_counter}-bit"
         )
     if hash_seed != base.hash_seed:
-        raise ValueError(
+        raise SnapshotCorruptError(
             f"delta targets hash seed {hash_seed}, filter has {base.hash_seed}"
+        )
+    body = len(raw) - _HEADER.size
+    if body != num_changes * 6:
+        raise SnapshotCorruptError(
+            f"delta body is {body} bytes but the header's {num_changes} "
+            f"changes require {num_changes * 6}"
         )
     offset = _HEADER.size
     indices = np.frombuffer(raw, dtype="<u4", count=num_changes, offset=offset)
     offset += num_changes * 4
     values = np.frombuffer(raw, dtype="<u2", count=num_changes, offset=offset)
+    if indices.size and int(indices.max()) >= base.num_counters:
+        raise SnapshotCorruptError(
+            f"delta touches counter {int(indices.max())}, filter has only "
+            f"{base.num_counters}"
+        )
+    return indices, values
+
+
+def apply_delta(base: CountingBloomFilter, delta: OracleDelta | bytes) -> None:
+    """Patch ``base`` in place to the delta's target version.
+
+    Accepts an :class:`OracleDelta` or its raw compressed payload (what
+    arrives over the channel); validation is :func:`parse_delta`'s.
+    Applied values are clamped to ``base.saturation`` as a last defense
+    against corrupt payloads (the on-wire ``<u2`` can encode values the
+    filter's ``bits_per_counter`` cannot) — the refresher's swap-in
+    validation is stricter and rejects such payloads outright.
+    """
+    indices, values = parse_delta(base, delta)
     clamped = np.minimum(values.astype(np.int64), base.saturation)
     base.counters[indices.astype(np.int64)] = clamped.astype(np.uint16)
 
@@ -186,12 +229,21 @@ def choose_refresh_payload(
 class RefreshReport:
     """One :meth:`OracleRefresher.refresh` attempt, summarized."""
 
-    status: str  # "applied" | "stale"
+    status: str  # "applied" | "stale" | "rejected"
     kind: str  # "delta" | "snapshot"
     payload_bytes: int
     attempts: int
     latency_seconds: float
     staleness_seconds: float
+
+
+@dataclass(frozen=True)
+class QuarantinedPayload:
+    """A delivered-but-corrupt refresh payload the client refused to apply."""
+
+    kind: str  # "delta" | "snapshot"
+    payload: bytes
+    error: str
 
 
 class OracleRefresher:
@@ -213,11 +265,19 @@ class OracleRefresher:
         oracle: UniquenessOracle,
         retry_policy: RetryPolicy | None = None,
         registry: MetricsRegistry | None = None,
+        fault_injector=None,
+        quarantine_limit: int = 4,
     ) -> None:
         self.oracle = oracle
         self.retry_policy = retry_policy or RetryPolicy()
         self._registry = resolve_registry(registry)
         self.last_refresh_seconds = 0.0
+        # Chaos hook: a repro.store.StorageFaultInjector corrupting the
+        # delivered payload bytes (a flipped bit in flight or in the
+        # download cache) before swap-in validation sees them.
+        self.fault_injector = fault_injector
+        self.quarantine_limit = int(quarantine_limit)
+        self.quarantined: list[QuarantinedPayload] = []
         self._m_staleness = self._registry.gauge(
             "oracle_staleness_seconds",
             help="age of the client's oracle copy (0 right after a refresh)",
@@ -228,7 +288,15 @@ class OracleRefresher:
                 help="oracle refresh attempts by outcome",
                 outcome=outcome,
             )
-            for outcome in ("applied", "failed")
+            for outcome in ("applied", "failed", "rejected")
+        }
+        self._m_rejected = {
+            kind: self._registry.counter(
+                "oracle_snapshots_rejected_total",
+                help="delivered refresh payloads refused by swap-in validation",
+                kind=kind,
+            )
+            for kind in ("delta", "snapshot")
         }
 
     @property
@@ -287,7 +355,46 @@ class OracleRefresher:
                 latency_seconds=outcome.latency_seconds,
                 staleness_seconds=staleness,
             )
-        self._apply(kind, payload)
+        if self.fault_injector is not None:
+            payload, _ = self.fault_injector.mangle(
+                payload, label=f"download/{kind}"
+            )
+        try:
+            self._apply(kind, payload)
+        except SnapshotCorruptError as error:
+            # Delivered but damaged: quarantine the payload for forensics,
+            # count the rejection, and keep serving the stale filter —
+            # a corrupt oracle must never be swapped in.
+            self.quarantined.append(
+                QuarantinedPayload(kind=kind, payload=payload, error=str(error))
+            )
+            del self.quarantined[: -self.quarantine_limit]
+            # The downlink delivered these bytes for nothing: account
+            # them as wasted transfer alongside the in-flight losses.
+            record_wasted_transfer(
+                len(payload),
+                channel=getattr(channel, "name", "download"),
+                registry=self._registry,
+            )
+            staleness = self.staleness_seconds(now_seconds)
+            self._m_staleness.set(staleness)
+            self._m_refreshes["rejected"].inc()
+            self._m_rejected[kind].inc()
+            record_span(
+                "oracle.refresh",
+                outcome.latency_seconds,
+                kind=kind,
+                status="rejected",
+                staleness_seconds=staleness,
+            )
+            return RefreshReport(
+                status="rejected",
+                kind=kind,
+                payload_bytes=len(payload),
+                attempts=outcome.attempts,
+                latency_seconds=outcome.latency_seconds,
+                staleness_seconds=staleness,
+            )
         self.last_refresh_seconds = now_seconds
         self._m_staleness.set(0.0)
         self._m_refreshes["applied"].inc()
@@ -308,18 +415,20 @@ class OracleRefresher:
         )
 
     def _apply(self, kind: str, payload: bytes) -> None:
+        """Validate then swap in; raises before any mutation on corruption.
+
+        :func:`repro.store.validate_refresh_payload` parses the payload
+        fully (header/body length consistency, geometry and hash
+        compatibility with the active filter, counter-saturation bounds)
+        without touching the base filter; only a payload that passes
+        everything is applied, in one assignment.
+        """
         base = self.oracle.counting
-        if kind == "delta":
-            apply_delta(base, payload)
+        validated = validate_refresh_payload(kind, payload, base)
+        if validated.kind == "delta":
+            base.counters[validated.indices.astype(np.int64)] = (
+                validated.values.astype(np.uint16)
+            )
         else:
-            fresh = deserialize_counting(payload)
-            if (
-                fresh.num_counters != base.num_counters
-                or fresh.num_hashes != base.num_hashes
-                or fresh.bits_per_counter != base.bits_per_counter
-            ):
-                raise ValueError(
-                    "snapshot geometry does not match the client oracle"
-                )
-            base.counters = fresh.counters
+            base.counters = validated.counters
         self.oracle.invalidate_transfer_cache()

@@ -18,7 +18,12 @@ from repro.network.faults import (
     submit_payload,
 )
 from repro.network.fps import sustainable_fps, fps_curve
-from repro.network.upload import UploadEvent, UploadTrace, simulate_stream
+from repro.network.upload import (
+    UploadEvent,
+    UploadTrace,
+    record_wasted_transfer,
+    simulate_stream,
+)
 
 __all__ = [
     "CHANNEL_PRESETS",
@@ -31,6 +36,7 @@ __all__ = [
     "UploadEvent",
     "UploadTrace",
     "fps_curve",
+    "record_wasted_transfer",
     "simulate_stream",
     "submit_payload",
     "sustainable_fps",

@@ -16,7 +16,28 @@ from repro.network.channel import UplinkChannel
 from repro.network.faults import RetryPolicy, TransferError
 from repro.obs import current_registry
 
-__all__ = ["UploadEvent", "UploadTrace", "simulate_stream"]
+__all__ = ["UploadEvent", "UploadTrace", "record_wasted_transfer", "simulate_stream"]
+
+
+def record_wasted_transfer(
+    num_bytes: int, channel: str = "download", registry=None
+) -> None:
+    """Count transfer bytes that bought nothing as wasted.
+
+    The fault layer counts bytes on attempts *lost in flight*; this is
+    the other way a transfer is wasted — delivered intact as far as the
+    link can tell, then refused by swap-in validation (see
+    ``repro.store.validate``).  Both land in the same
+    ``network_wasted_bytes_total`` series so Fig. 14-style accounting
+    sees every byte that crossed the air without advancing the system.
+    """
+    registry = registry if registry is not None else current_registry()
+    if registry is not None:
+        registry.counter(
+            "network_wasted_bytes_total",
+            help="bytes transmitted on attempts that were lost",
+            channel=channel,
+        ).inc(num_bytes)
 
 
 @dataclass(frozen=True)

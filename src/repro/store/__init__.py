@@ -1,0 +1,69 @@
+"""``repro.store`` — crash-safe, integrity-verified snapshot storage.
+
+PR 4 hardened the network leg of the offload pipeline; this package
+hardens the durable-state leg.  Both the server's persisted state and
+the client's downloaded oracle ride through the same machinery:
+
+* :class:`SnapshotStore` — atomic generational commits (temp dir +
+  fsync + rename, manifest written last) with per-section CRCs and
+  automatic rollback to the newest generation that verifies;
+* :class:`StorageFaultInjector` / :class:`StorageFaultSpec` — seeded
+  bit flips, truncations, torn writes, and stale renames, mirroring
+  :class:`repro.network.faults.FaultyChannel` so every corruption path
+  is deterministically testable;
+* :func:`validate_refresh_payload` — client-side swap-in validation of
+  downloaded oracle snapshots and deltas (wired into
+  :class:`repro.core.OracleRefresher`);
+* :func:`verify_state` — the ``repro verify-state`` fsck, with
+  rebuild-from-wardrive for unrecoverable state.
+
+Failure accounting: ``snapshot_faults_injected_total`` (what the chaos
+rig did), ``store_snapshots_corrupt_total`` / ``store_rollbacks_total``
+(what verification caught), ``oracle_snapshots_rejected_total`` (what
+the client refused to swap in).  The invariant the chaos suite holds is
+that corrupted bytes are *never* swapped in: every injected fault ends
+in detect→rollback, detect→stale-serve, or detect→rebuild.
+"""
+
+from repro.bloom.container import SnapshotCorruptError
+from repro.store.faults import FAULT_KINDS, StorageFaultInjector, StorageFaultSpec
+from repro.store.fsck import FsckReport, verify_state
+from repro.store.integrity import (
+    CHECKSUM_ALGO,
+    available_algorithms,
+    checksum_bytes,
+    checksum_named,
+)
+from repro.store.snapshot import (
+    LoadedSnapshot,
+    SectionReport,
+    SnapshotStore,
+    VerifyReport,
+)
+from repro.store.validate import (
+    ValidatedRefresh,
+    validate_counting_snapshot,
+    validate_delta,
+    validate_refresh_payload,
+)
+
+__all__ = [
+    "CHECKSUM_ALGO",
+    "FAULT_KINDS",
+    "FsckReport",
+    "LoadedSnapshot",
+    "SectionReport",
+    "SnapshotCorruptError",
+    "SnapshotStore",
+    "StorageFaultInjector",
+    "StorageFaultSpec",
+    "ValidatedRefresh",
+    "VerifyReport",
+    "available_algorithms",
+    "checksum_bytes",
+    "checksum_named",
+    "validate_counting_snapshot",
+    "validate_delta",
+    "validate_refresh_payload",
+    "verify_state",
+]

@@ -1,0 +1,198 @@
+"""Seeded fault injection for the durable-state leg.
+
+:class:`repro.network.faults.FaultyChannel` made the flaky *pipe*
+deterministically testable; this module does the same for the flaky
+*disk*.  A :class:`StorageFaultInjector` sits between a writer and the
+bytes that actually land on storage (or arrive from a download) and,
+driven by a private :func:`repro.util.rng.rng_for` stream, injects the
+classic durability failures:
+
+* **bit flips** — up to ``max_bit_flips`` random bits inverted anywhere
+  in the payload (silent media corruption);
+* **truncation** — a random-length tail lost (crash mid-append, lost
+  cache writeback);
+* **torn writes** — only an aligned prefix persisted (power cut between
+  pages; modeled as a cut at a 4096-byte boundary);
+* **stale renames** — the commit rename never lands, leaving the
+  previous generation in place (crash between ``fsync`` and ``rename``).
+
+A null spec injects nothing and consumes no randomness, so a zero-fault
+wrap is byte-identical to no wrap at all — the same zero-fault-parity
+contract the network layer keeps.  Every injected fault increments
+``snapshot_faults_injected_total{kind=...}`` in the ambient metrics
+registry, which is how the chaos tests assert "every fault was either
+detected or harmless".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import current_registry
+from repro.util.rng import rng_for
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["FAULT_KINDS", "StorageFaultInjector", "StorageFaultSpec"]
+
+#: Every fault class the injector can draw, in draw order.
+FAULT_KINDS = ("bit_flip", "truncate", "torn_write", "stale_rename")
+
+_PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class StorageFaultSpec:
+    """Fault mix for one :class:`StorageFaultInjector`.
+
+    Each probability is per *file operation* (one section write, one
+    manifest write, one commit rename, or one downloaded payload).  At
+    most one fault fires per operation; draws are gated on the
+    corresponding probability being non-zero so enabling one fault class
+    never shifts another's stream.
+    """
+
+    bit_flip: float = 0.0
+    truncate: float = 0.0
+    torn_write: float = 0.0
+    stale_rename: float = 0.0
+    max_bit_flips: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for field in ("bit_flip", "truncate", "torn_write", "stale_rename"):
+            check_in_range(field, getattr(self, field), 0.0, 1.0)
+        check_positive("max_bit_flips", self.max_bit_flips)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the spec can never perturb a write."""
+        return (
+            self.bit_flip == 0.0
+            and self.truncate == 0.0
+            and self.torn_write == 0.0
+            and self.stale_rename == 0.0
+        )
+
+
+class StorageFaultInjector:
+    """Deterministically corrupts bytes on their way to durable storage.
+
+    >>> injector = StorageFaultInjector(bit_flip=1.0, seed=7)
+    >>> mangled, kind = injector.mangle(b"x" * 64, "demo")
+    >>> kind
+    'bit_flip'
+    >>> mangled != b"x" * 64
+    True
+    """
+
+    def __init__(
+        self, spec: StorageFaultSpec | None = None, **spec_fields
+    ) -> None:
+        if spec is not None and spec_fields:
+            raise ValueError("pass either a StorageFaultSpec or field overrides, not both")
+        self.spec = spec if spec is not None else StorageFaultSpec(**spec_fields)
+        self._rng = rng_for(self.spec.seed, "store/faults")
+        self.faults_injected = 0
+
+    def _count(self, kind: str) -> None:
+        self.faults_injected += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "snapshot_faults_injected_total",
+                help="snapshot bytes corrupted by the storage fault injector",
+                kind=kind,
+            ).inc()
+
+    def _draw(self) -> str | None:
+        """At most one fault kind per operation; gated like FaultyChannel."""
+        spec = self.spec
+        rng = self._rng
+        for kind in ("bit_flip", "truncate", "torn_write"):
+            probability = getattr(spec, kind)
+            if probability and float(rng.random()) < probability:
+                return kind
+        return None
+
+    def _corrupt(self, data: bytes, kind: str) -> bytes:
+        rng = self._rng
+        if kind == "bit_flip":
+            if not data:
+                return data
+            mutable = np.frombuffer(data, dtype=np.uint8).copy()
+            flips = int(rng.integers(1, self.spec.max_bit_flips + 1))
+            positions = rng.integers(0, mutable.size, size=flips)
+            bits = rng.integers(0, 8, size=flips)
+            # np.add-style accumulation is irrelevant: XOR twice on the
+            # same (position, bit) pair un-flips, which is still a fault
+            # the manifest CRC may or may not see — keep the raw draw.
+            for position, bit in zip(positions, bits):
+                mutable[position] ^= np.uint8(1 << int(bit))
+            return mutable.tobytes()
+        if kind == "truncate":
+            if not data:
+                return data
+            keep = int(rng.integers(0, len(data)))
+            return data[:keep]
+        if kind == "torn_write":
+            # Power loss between page writebacks: an aligned prefix
+            # survives, everything after the torn page is gone.
+            if len(data) <= _PAGE_BYTES:
+                return b""
+            pages = len(data) // _PAGE_BYTES
+            keep_pages = int(rng.integers(0, pages))
+            return data[: keep_pages * _PAGE_BYTES]
+        raise ValueError(f"unknown fault kind {kind!r}")
+
+    # -- hooks the snapshot store calls --------------------------------
+
+    def mangle(self, data: bytes, label: str = "") -> tuple[bytes, str | None]:
+        """Possibly corrupt one file write; returns ``(bytes, kind)``.
+
+        With a null spec the input is returned untouched and the private
+        rng is never consumed.
+        """
+        if self.spec.is_null:
+            return data, None
+        kind = self._draw()
+        if kind is None:
+            return data, None
+        self._count(kind)
+        return self._corrupt(data, kind), kind
+
+    def drop_rename(self, label: str = "") -> bool:
+        """True when the commit rename should be swallowed (crash model)."""
+        spec = self.spec
+        if spec.stale_rename and float(self._rng.random()) < spec.stale_rename:
+            self._count("stale_rename")
+            return True
+        return False
+
+    # -- forced corruption for fsck smokes and the CLI ------------------
+
+    def corrupt_file(self, path: str | Path, kind: str = "bit_flip") -> str:
+        """Force one fault of ``kind`` onto an existing file, in place.
+
+        Used by the CI corruption smoke ("save a server, flip bytes,
+        assert ``repro verify-state`` exits nonzero") and by tests that
+        need a *guaranteed* fault rather than a probabilistic one.
+        """
+        if kind not in ("bit_flip", "truncate", "torn_write"):
+            raise ValueError(
+                f"corrupt_file supports bit_flip/truncate/torn_write, got {kind!r}"
+            )
+        path = Path(path)
+        data = path.read_bytes()
+        corrupted = self._corrupt(data, kind)
+        if corrupted == data and kind == "bit_flip" and data:
+            # A zero-byte flip count cannot happen (flips >= 1), but the
+            # same bit drawn twice can cancel out; force one real flip.
+            mutable = bytearray(data)
+            mutable[0] ^= 0x01
+            corrupted = bytes(mutable)
+        self._count(kind)
+        path.write_bytes(corrupted)
+        return kind

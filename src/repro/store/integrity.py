@@ -1,0 +1,62 @@
+"""Checksums for durable snapshot sections.
+
+Every section a :class:`repro.store.SnapshotStore` writes is covered by
+a 32-bit CRC recorded in the generation's manifest.  CRC32C (Castagnoli)
+is preferred when the optional ``crc32c`` accelerator package is
+importable; otherwise the stdlib's zlib CRC32 is used.  The manifest
+records *which* algorithm produced its digests, so a snapshot written on
+a host with the accelerator verifies correctly on one without it (and
+vice versa) — as long as the named algorithm is computable locally.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable
+
+__all__ = [
+    "CHECKSUM_ALGO",
+    "available_algorithms",
+    "checksum_bytes",
+    "checksum_named",
+]
+
+_ALGORITHMS: dict[str, Callable[[bytes], int]] = {
+    "crc32": lambda data: zlib.crc32(data) & 0xFFFFFFFF,
+}
+
+try:  # pragma: no cover - exercised only where the wheel is installed
+    import crc32c as _crc32c
+
+    _ALGORITHMS["crc32c"] = lambda data: _crc32c.crc32c(data) & 0xFFFFFFFF
+    CHECKSUM_ALGO = "crc32c"
+except ImportError:
+    #: The algorithm new manifests are written with on this host.
+    CHECKSUM_ALGO = "crc32"
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Names accepted by :func:`checksum_named` on this host."""
+    return tuple(sorted(_ALGORITHMS))
+
+
+def checksum_bytes(data: bytes) -> int:
+    """Digest ``data`` with this host's preferred algorithm."""
+    return _ALGORITHMS[CHECKSUM_ALGO](data)
+
+
+def checksum_named(algo: str, data: bytes) -> int:
+    """Digest ``data`` with the manifest-named algorithm.
+
+    Raises :class:`ValueError` for an algorithm this host cannot compute
+    — the caller treats that as an unverifiable (hence untrusted)
+    snapshot, not as a pass.
+    """
+    try:
+        function = _ALGORITHMS[algo]
+    except KeyError:
+        raise ValueError(
+            f"checksum algorithm {algo!r} unavailable "
+            f"(have: {', '.join(available_algorithms())})"
+        )
+    return function(data)

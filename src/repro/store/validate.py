@@ -1,0 +1,110 @@
+"""Swap-in validation for downloaded oracle payloads.
+
+PR 4 made a *failed* download harmless (the client keeps serving its
+stale filter).  A *corrupt* download is nastier: gzip usually catches a
+flipped bit, but a payload corrupted before compression — or one whose
+header and body disagree — would silently replace the client's counters
+with garbage and invert uniqueness decisions from then on.
+
+These validators parse a refresh payload fully, check it against the
+client's active filter (geometry, hash configuration, header/body
+length consistency, counter-saturation bounds), and only then hand the
+decoded content back for the actual swap.  Nothing here mutates the
+base filter: validation either returns everything needed to apply the
+refresh, or raises :class:`repro.bloom.SnapshotCorruptError` and the
+stale filter keeps serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bloom.container import SnapshotCorruptError, deserialize_counting
+from repro.bloom.counting import CountingBloomFilter
+
+__all__ = ["ValidatedRefresh", "validate_refresh_payload"]
+
+
+@dataclass(frozen=True)
+class ValidatedRefresh:
+    """A refresh payload that passed every swap-in check.
+
+    For ``kind="snapshot"`` the decoded replacement counters are in
+    ``counters``; for ``kind="delta"`` the sparse update is in
+    ``(indices, values)``.
+    """
+
+    kind: str
+    counters: np.ndarray | None = None
+    indices: np.ndarray | None = None
+    values: np.ndarray | None = None
+
+
+def _check_geometry(fresh: CountingBloomFilter, base: CountingBloomFilter) -> None:
+    if fresh.num_counters != base.num_counters:
+        raise SnapshotCorruptError(
+            f"snapshot carries {fresh.num_counters} counters, the active "
+            f"filter has {base.num_counters}"
+        )
+    if fresh.num_hashes != base.num_hashes:
+        raise SnapshotCorruptError(
+            f"snapshot hashed {fresh.num_hashes} ways, the active filter "
+            f"uses {base.num_hashes}"
+        )
+    if fresh.bits_per_counter != base.bits_per_counter:
+        raise SnapshotCorruptError(
+            f"snapshot uses {fresh.bits_per_counter}-bit counters, the "
+            f"active filter {base.bits_per_counter}-bit"
+        )
+
+
+def validate_counting_snapshot(
+    payload: bytes, base: CountingBloomFilter
+) -> ValidatedRefresh:
+    """Fully validate a counting-filter snapshot against ``base``."""
+    fresh = deserialize_counting(payload)
+    _check_geometry(fresh, base)
+    # Bit-packing makes >saturation values unrepresentable when the
+    # widths match, but a defensive bound keeps the invariant explicit
+    # (and catches any future change to the decode path).
+    if fresh.counters.size and int(fresh.counters.max()) > base.saturation:
+        raise SnapshotCorruptError(
+            f"snapshot counter {int(fresh.counters.max())} exceeds the "
+            f"saturation ceiling {base.saturation}"
+        )
+    return ValidatedRefresh(kind="snapshot", counters=fresh.counters)
+
+
+def validate_delta(payload: bytes, base: CountingBloomFilter) -> ValidatedRefresh:
+    """Fully validate a VPDT counter delta against ``base``.
+
+    Stricter than :func:`repro.core.updates.apply_delta`: values beyond
+    the saturation ceiling are *rejected* rather than clamped — the
+    server can never produce them, so on this path they are evidence of
+    corruption, not something to paper over.
+    """
+    # Imported lazily: repro.core.updates imports this module at top
+    # level (the refresher wiring), so the dependency must not be
+    # circular at import time.
+    from repro.core.updates import parse_delta
+
+    indices, values = parse_delta(base, payload)
+    if values.size and int(values.max()) > base.saturation:
+        raise SnapshotCorruptError(
+            f"delta value {int(values.max())} exceeds the saturation "
+            f"ceiling {base.saturation}"
+        )
+    return ValidatedRefresh(kind="delta", indices=indices, values=values)
+
+
+def validate_refresh_payload(
+    kind: str, payload: bytes, base: CountingBloomFilter
+) -> ValidatedRefresh:
+    """Dispatch on the refresh kind (``"delta"`` | ``"snapshot"``)."""
+    if kind == "delta":
+        return validate_delta(payload, base)
+    if kind == "snapshot":
+        return validate_counting_snapshot(payload, base)
+    raise ValueError(f"unknown refresh kind {kind!r}")
