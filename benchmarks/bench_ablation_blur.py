@@ -46,14 +46,14 @@ def test_ablation_blur_gating(benchmark):
         for index, frame in enumerate(frames):
             gated.process_frame(frame, index)
             ungated.process_frame(frame, index)
-        return gated.stats, ungated.stats
+        return gated.metrics, ungated.metrics
 
     gated, ungated = benchmark.pedantic(run, rounds=1, iterations=1)
+    gated_bytes = gated.counter("client_upload_bytes_total").value
+    ungated_bytes = ungated.counter("client_upload_bytes_total").value
+    rejected = gated.counter("client_frames_rejected_blur_total").value
     print()
-    print(
-        f"  gated:   {gated.bytes_uploaded / 1024:.1f} KB uploaded, "
-        f"{gated.frames_rejected_blur} frames rejected"
-    )
-    print(f"  ungated: {ungated.bytes_uploaded / 1024:.1f} KB uploaded")
-    assert gated.frames_rejected_blur > 0
-    assert gated.bytes_uploaded < ungated.bytes_uploaded
+    print(f"  gated:   {gated_bytes / 1024:.1f} KB uploaded, {rejected} frames rejected")
+    print(f"  ungated: {ungated_bytes / 1024:.1f} KB uploaded")
+    assert rejected > 0
+    assert gated_bytes < ungated_bytes

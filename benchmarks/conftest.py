@@ -75,6 +75,12 @@ def store_trajectory() -> dict[str, dict]:
     return _TRAJECTORIES.setdefault("BENCH_store.json", {})
 
 
+@pytest.fixture(scope="session")
+def serving_trajectory() -> dict[str, dict]:
+    """Mutable dict the serving-layer benchmarks fill with rows."""
+    return _TRAJECTORIES.setdefault("BENCH_serving.json", {})
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Emit one BENCH_*.json per trajectory the session filled.
 

@@ -23,41 +23,71 @@ Quickstart::
     client = VisualPrintClient(server.publish_oracle(), config)
     # fingerprint = client.process_frame(image); server.localize(fingerprint)
 
+The blessed public surface is :mod:`repro.api` (re-exported here):
+config objects, the client/server engines, the multi-venue serving
+frontend, frame codecs, and the snapshot store.  Everything else —
+and any name with a leading underscore — is internal (DESIGN.md §11).
+
 See ``examples/`` for runnable end-to-end scenarios and ``DESIGN.md``
 for the subsystem inventory and experiment index.
 """
 
-from repro.core import (
+from repro.api import (
+    CHANNEL_PRESETS,
+    ClientConfig,
     Fingerprint,
+    MetricsRegistry,
+    OracleRefresher,
+    RetryPolicy,
+    ServerConfig,
+    ServerStateStore,
+    ServingFrontend,
+    SnapshotStore,
     UniquenessOracle,
+    UplinkChannel,
+    VenueRegistry,
     VisualPrintClient,
     VisualPrintConfig,
     VisualPrintServer,
 )
+from repro.codecs import H264Codec, JpegCodec
 from repro.features import HarrisDetector, KeypointSet, SiftExtractor, SiftParams
 from repro.geometry import CameraIntrinsics, PinholeCamera, Pose
 from repro.imaging.synth import SceneLibrary
 from repro.lsh import E2LSHParams, LshIndex
 from repro.wardrive import DriftModel, IndoorEnvironment, TangoRig, WardriveSession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CHANNEL_PRESETS",
     "CameraIntrinsics",
+    "ClientConfig",
     "DriftModel",
     "E2LSHParams",
     "Fingerprint",
+    "H264Codec",
     "HarrisDetector",
     "IndoorEnvironment",
+    "JpegCodec",
     "KeypointSet",
     "LshIndex",
+    "MetricsRegistry",
+    "OracleRefresher",
     "PinholeCamera",
     "Pose",
+    "RetryPolicy",
     "SceneLibrary",
+    "ServerConfig",
+    "ServerStateStore",
+    "ServingFrontend",
     "SiftExtractor",
     "SiftParams",
+    "SnapshotStore",
     "TangoRig",
     "UniquenessOracle",
+    "UplinkChannel",
+    "VenueRegistry",
     "VisualPrintClient",
     "VisualPrintConfig",
     "VisualPrintServer",

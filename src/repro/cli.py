@@ -25,6 +25,13 @@ saved server state (an ``.npz`` file or a snapshot-store directory),
 exits nonzero on any corruption, and with ``--rebuild-venue`` can
 reconstruct unrecoverable state from a fresh wardrive (see
 :mod:`repro.store.fsck`).
+
+``python -m repro serve --state DIR`` boots the multi-venue
+:class:`repro.serving.ServingFrontend` over saved venue state (one
+snapshot store per venue) and drives synthetic localization queries
+through it; it shares the observability flags above, plus
+``--shards``/``--workers``/``--queue-depth``/``--admission`` for the
+serving topology and ``--bootstrap N`` to synthesize venues first.
 """
 
 from __future__ import annotations
@@ -86,6 +93,10 @@ _WORKERS_AWARE = {"fig13", "fig14", "fig16", "latency"}
 
 # Experiments whose run()/main() accept faults= / retry= (chaos runs).
 _FAULT_AWARE = {"fig13", "fig14", "fig16", "latency"}
+
+# Experiments whose run() accepts serving= (route queries through a
+# ServingFrontend with that many shards; bit-identical to the direct path).
+_SERVING_AWARE = {"fig13", "fig16"}
 
 _FAST_PARAMS: dict[str, dict] = {
     "fig3": dict(num_images=12, image_size=160),
@@ -249,6 +260,270 @@ def _print_flight_recorder(recorder: FlightRecorder) -> None:
             print(f"  {line}")
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (experiment subcommands + serve)."""
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics registry to PATH as JSON "
+        "and print a metrics summary",
+    )
+    parser.add_argument(
+        "--metrics-prom",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics registry to PATH in Prometheus text format",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's query traces to PATH as Chrome trace-event "
+        "JSON (load in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--trace-ndjson",
+        metavar="PATH",
+        default=None,
+        help="write the run's spans to PATH as newline-delimited JSON",
+    )
+    parser.add_argument(
+        "--flight-recorder",
+        type=int,
+        default=0,
+        metavar="K",
+        help="retain and print the K slowest query traces with full span trees",
+    )
+
+
+def _make_collector(args, registry: MetricsRegistry) -> TraceCollector | None:
+    if args.trace_out or args.trace_ndjson or args.flight_recorder > 0:
+        return TraceCollector(registry=registry)
+    return None
+
+
+def _write_obs_outputs(
+    args, registry: MetricsRegistry, collector: TraceCollector | None
+) -> None:
+    """Emit the trace/metrics artifacts the shared obs flags asked for."""
+    if collector is not None:
+        num_spans = sum(1 for _ in collector.spans())
+        if args.trace_out:
+            write_chrome_trace(collector.roots, args.trace_out)
+            print(
+                f"chrome trace ({len(collector.traces())} traces, "
+                f"{num_spans} spans) written to {args.trace_out}"
+            )
+        if args.trace_ndjson:
+            write_ndjson(collector.roots, args.trace_ndjson)
+            print(f"span NDJSON ({num_spans} spans) written to {args.trace_ndjson}")
+        if args.flight_recorder > 0:
+            recorder = FlightRecorder(args.flight_recorder, registry=registry)
+            recorder.observe_all(collector.traces())
+            _print_flight_recorder(recorder)
+    if args.metrics_json or args.metrics_prom:
+        _print_metrics_summary(registry)
+    if args.metrics_json:
+        registry.write_json(args.metrics_json)
+        print(f"metrics JSON written to {args.metrics_json}")
+    if args.metrics_prom:
+        with open(args.metrics_prom, "w", encoding="utf-8") as handle:
+            handle.write(registry.to_prometheus())
+        print(f"metrics Prometheus text written to {args.metrics_prom}")
+
+
+def _bootstrap_venues(root, count: int, seed: int) -> list[str]:
+    """Create ``count`` small synthetic venues under ``root``, one store each.
+
+    Each venue is a wardriven-in-miniature :class:`VisualPrintServer`
+    (random SIFT descriptors at random 3D positions) committed through
+    its generational snapshot store, so a bootstrapped state directory
+    is indistinguishable from one produced by real ingest + save.
+    """
+    import numpy as np
+
+    from repro.core import VisualPrintConfig, VisualPrintServer
+    from repro.core.persistence import ServerStateStore
+    from repro.util.rng import rng_for
+    from repro.wardrive.environment import random_sift_descriptor
+
+    names = []
+    for index in range(count):
+        name = f"venue-{index}"
+        rng = rng_for(seed, f"serve/bootstrap/{name}")
+        server = VisualPrintServer(
+            VisualPrintConfig(descriptor_capacity=4096, fingerprint_size=10),
+            bounds=(np.zeros(3), np.array([10.0, 10.0, 3.0])),
+        )
+        descriptors = np.array([random_sift_descriptor(rng) for _ in range(120)])
+        server.ingest(descriptors, rng.uniform(0.0, 10.0, (120, 3)))
+        ServerStateStore(root / name).save(server)
+        names.append(name)
+    return names
+
+
+def _synthetic_query(server, rng, size: int = 24):
+    """A localization query drawn from a venue's own stored descriptors."""
+    import numpy as np
+
+    from repro.core import Fingerprint
+    from repro.features.keypoint import KeypointSet
+
+    take = rng.choice(
+        server.num_mappings, size=min(size, server.num_mappings), replace=False
+    )
+    descriptors = server.descriptors[np.sort(take)]
+    n = descriptors.shape[0]
+    keypoints = KeypointSet(
+        positions=rng.uniform(50.0, 590.0, size=(n, 2)).astype(np.float32),
+        scales=np.ones(n, np.float32),
+        orientations=np.zeros(n, np.float32),
+        responses=np.ones(n, np.float32),
+        descriptors=descriptors.astype(np.float32),
+    )
+    return Fingerprint(
+        keypoints=keypoints, uniqueness_counts=np.zeros(n, dtype=np.int64)
+    )
+
+
+def _run_serve(argv: list[str]) -> int:
+    """The ``serve`` subcommand: boot the frontend over saved venue state."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Boot the multi-venue ServingFrontend over saved venue "
+        "state (one snapshot store per venue under --state) and drive "
+        "synthetic localization queries through it.",
+    )
+    parser.add_argument(
+        "--state",
+        required=True,
+        metavar="DIR",
+        help="venue state root: one snapshot-store directory per venue",
+    )
+    parser.add_argument(
+        "--bootstrap",
+        type=int,
+        default=0,
+        metavar="N",
+        help="first create N small synthetic venues under --state "
+        "(default: serve whatever venues already exist there)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shards on the consistent-hash ring (default 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="1 = inline shard execution (deterministic); >1 = one "
+        "process per shard, engines restored from --state in-worker",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=8,
+        metavar="N",
+        help="synthetic localization queries to serve, round-robin "
+        "across venues (default 8)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded per-shard admission queue (default 64)",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=("wait", "reject"),
+        default="wait",
+        help="backpressure policy when a shard queue fills (default wait)",
+    )
+    parser.add_argument(
+        "--channel",
+        default="lte",
+        metavar="NAME",
+        help="uplink preset to price each query's upload on (default lte)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(parser)
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.network import resolve_channel
+    from repro.serving import ServingFrontend, load_venue_server
+    from repro.util.rng import rng_for
+
+    channel = resolve_channel(args.channel)
+    root = Path(args.state)
+    registry = MetricsRegistry()
+    collector = _make_collector(args, registry)
+    with use_registry(registry):
+        with use_collector(collector) if collector else contextlib.nullcontext():
+            if args.bootstrap > 0:
+                names = _bootstrap_venues(root, args.bootstrap, args.seed)
+                print(f"bootstrapped {len(names)} venue(s) under {root}")
+            else:
+                names = sorted(
+                    p.name
+                    for p in root.iterdir()
+                    if p.is_dir() and any(p.glob("gen-*"))
+                ) if root.is_dir() else []
+            if not names:
+                print(f"no venues found under {root} (try --bootstrap N)")
+                return 2
+            frontend = ServingFrontend(
+                num_shards=args.shards,
+                workers=args.workers,
+                queue_depth=args.queue_depth,
+                admission=args.admission,
+                seed=args.seed,
+                registry=registry,
+            )
+            # The parent restores every venue once: inline shards serve
+            # these copies directly; process shards rebuild their own from
+            # the store (EngineSpec), and the parent copies only feed
+            # query synthesis.
+            servers = {
+                name: load_venue_server(root, name, registry=registry)
+                for name in names
+            }
+            for name in names:
+                if args.workers > 1:
+                    frontend.register_venue(
+                        name, frontend.venues.spec_for_stored_venue(name, root)
+                    )
+                else:
+                    frontend.register_venue(name, servers[name])
+            rng = rng_for(args.seed, "serve/queries")
+            items = []
+            for index in range(args.queries):
+                name = names[index % len(names)]
+                items.append((name, _synthetic_query(servers[name], rng)))
+            answers = frontend.map_many(items)
+            transfer_rng = rng_for(args.seed, "serve/uplink")
+            for (_, fingerprint), _answer in zip(items, answers):
+                channel.transfer_seconds(fingerprint.upload_bytes, transfer_rng)
+            localized = sum(1 for answer in answers if answer.matched_points > 0)
+            print(
+                f"served {len(answers)} queries over {len(names)} venue(s) on "
+                f"{args.shards} shard(s) (workers={args.workers}, "
+                f"channel={args.channel}): {localized} localized"
+            )
+            for shard_id, venues in sorted(frontend.placement().items()):
+                print(f"  {shard_id}: {', '.join(venues) if venues else '(empty)'}")
+            frontend.close()
+    _write_obs_outputs(args, registry, collector)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -258,6 +533,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_metrics_diff(argv[1:])
     if argv and argv[0] == "verify-state":
         return _run_verify_state(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce a figure from 'Low Bandwidth Offload for Mobile AR'.",
@@ -280,6 +557,15 @@ def main(argv: list[str] | None = None) -> int:
         help="process-pool width for experiments with parallel hot paths "
         f"({', '.join(sorted(_WORKERS_AWARE))}); results are bit-identical "
         "to --workers 1 (0 = all available cores)",
+    )
+    parser.add_argument(
+        "--serving",
+        type=int,
+        default=None,
+        metavar="SHARDS",
+        help="route query loops through a ServingFrontend with SHARDS "
+        f"shards ({', '.join(sorted(_SERVING_AWARE))}); inline workers, "
+        "bit-identical to the direct path",
     )
     faults_group = parser.add_argument_group(
         "fault injection",
@@ -324,39 +610,7 @@ def main(argv: list[str] | None = None) -> int:
         help="per-query simulated latency budget before abandoning "
         "(default 30)",
     )
-    parser.add_argument(
-        "--metrics-json",
-        metavar="PATH",
-        default=None,
-        help="write the run's metrics registry to PATH as JSON "
-        "and print a metrics summary",
-    )
-    parser.add_argument(
-        "--metrics-prom",
-        metavar="PATH",
-        default=None,
-        help="write the run's metrics registry to PATH in Prometheus text format",
-    )
-    parser.add_argument(
-        "--trace-out",
-        metavar="PATH",
-        default=None,
-        help="write the run's query traces to PATH as Chrome trace-event "
-        "JSON (load in chrome://tracing or Perfetto)",
-    )
-    parser.add_argument(
-        "--trace-ndjson",
-        metavar="PATH",
-        default=None,
-        help="write the run's spans to PATH as newline-delimited JSON",
-    )
-    parser.add_argument(
-        "--flight-recorder",
-        type=int,
-        default=0,
-        metavar="K",
-        help="retain and print the K slowest query traces with full span trees",
-    )
+    _add_obs_arguments(parser)
     args = parser.parse_args(argv)
 
     workers = args.workers
@@ -395,10 +649,22 @@ def main(argv: list[str] | None = None) -> int:
             "retry": RetryPolicy(**policy_overrides),
         }
 
+    # A silently ignored --serving would look like a passing parity run
+    # that never exercised the serving layer; `all` is exempt (the flag
+    # applies to whichever experiments in the sweep support it).
+    if (
+        args.serving is not None
+        and args.experiment != "all"
+        and args.experiment not in _SERVING_AWARE
+    ):
+        print(
+            f"--serving is not supported by {args.experiment} "
+            f"(supported: {', '.join(sorted(_SERVING_AWARE))})"
+        )
+        return 2
+
     registry = MetricsRegistry()
-    collector = None
-    if args.trace_out or args.trace_ndjson or args.flight_recorder > 0:
-        collector = TraceCollector(registry=registry)
+    collector = _make_collector(args, registry)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     with use_registry(registry):
         with use_collector(collector) if collector else contextlib.nullcontext():
@@ -407,6 +673,8 @@ def main(argv: list[str] | None = None) -> int:
                 extra = {"workers": workers} if name in _WORKERS_AWARE else {}
                 if name in _FAULT_AWARE:
                     extra.update(fault_kwargs)
+                if args.serving is not None and name in _SERVING_AWARE:
+                    extra["serving"] = args.serving
                 print(f"=== {name} " + "=" * max(1, 60 - len(name)))
                 if args.fast and name in _FAST_PARAMS:
                     result = module.run(**_FAST_PARAMS[name], **extra)
@@ -415,30 +683,7 @@ def main(argv: list[str] | None = None) -> int:
                     module.main(**extra)
                 print()
 
-    if collector is not None:
-        num_spans = sum(1 for _ in collector.spans())
-        if args.trace_out:
-            write_chrome_trace(collector.roots, args.trace_out)
-            print(
-                f"chrome trace ({len(collector.traces())} traces, "
-                f"{num_spans} spans) written to {args.trace_out}"
-            )
-        if args.trace_ndjson:
-            write_ndjson(collector.roots, args.trace_ndjson)
-            print(f"span NDJSON ({num_spans} spans) written to {args.trace_ndjson}")
-        if args.flight_recorder > 0:
-            recorder = FlightRecorder(args.flight_recorder, registry=registry)
-            recorder.observe_all(collector.traces())
-            _print_flight_recorder(recorder)
-    if args.metrics_json or args.metrics_prom:
-        _print_metrics_summary(registry)
-    if args.metrics_json:
-        registry.write_json(args.metrics_json)
-        print(f"metrics JSON written to {args.metrics_json}")
-    if args.metrics_prom:
-        with open(args.metrics_prom, "w", encoding="utf-8") as handle:
-            handle.write(registry.to_prometheus())
-        print(f"metrics Prometheus text written to {args.metrics_prom}")
+    _write_obs_outputs(args, registry, collector)
     return 0
 
 

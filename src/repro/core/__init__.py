@@ -15,9 +15,9 @@ an order of magnitude."
   3D location (and scene retrieval for the Fig. 13 experiments).
 """
 
-from repro.core.config import VisualPrintConfig
+from repro.core.config import ClientConfig, ServerConfig, VisualPrintConfig
 from repro.core.fingerprint import Fingerprint, degradation_keep_counts
-from repro.core.client import ClientStats, OffloadReport, VisualPrintClient
+from repro.core.client import OffloadReport, VisualPrintClient
 from repro.core.oracle import OracleLookup, UniquenessOracle
 from repro.core.server import LocalizationAnswer, VisualPrintServer
 from repro.core.updates import (
@@ -32,7 +32,7 @@ from repro.core.updates import (
 )
 
 __all__ = [
-    "ClientStats",
+    "ClientConfig",
     "Fingerprint",
     "LocalizationAnswer",
     "OffloadReport",
@@ -41,6 +41,7 @@ __all__ = [
     "OracleRefresher",
     "QuarantinedPayload",
     "RefreshReport",
+    "ServerConfig",
     "UniquenessOracle",
     "VisualPrintClient",
     "VisualPrintServer",

@@ -9,20 +9,19 @@ per-stage latency histograms (``client_sift_seconds``,
 frame/keypoint/byte counters, and a blur-rejection counter — plus
 nested per-frame :class:`repro.obs.Span` traces via ``client.tracer``.
 
-The legacy ``client.stats`` (:class:`ClientStats`) and
-``client.median_latency`` APIs survive as thin deprecated views over
-the registry; new code should use ``client.metrics`` and
-``client.latency_quantiles``.
+The metrics surface is ``client.metrics`` (the registry) and
+``client.latency_quantiles(stage)``; the pre-``repro.obs`` views
+(``client.stats`` / ``client.median_latency``) completed their
+deprecation cycle and are gone.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import VisualPrintConfig
+from repro.core.config import ClientConfig, VisualPrintConfig
 from repro.core.fingerprint import Fingerprint, degradation_keep_counts
 from repro.core.oracle import UniquenessOracle
 from repro.features.keypoint import KeypointSet
@@ -37,77 +36,10 @@ from repro.obs import (
     use_trace_context,
 )
 
-__all__ = ["ClientStats", "OffloadReport", "VisualPrintClient"]
+__all__ = ["OffloadReport", "VisualPrintClient"]
 
 #: Stages with a per-frame latency histogram (``client_<stage>_seconds``).
 _STAGES = ("sift", "oracle", "serialize")
-
-
-def _deprecated(message: str) -> None:
-    warnings.warn(message, DeprecationWarning, stacklevel=3)
-
-
-class ClientStats:
-    """Deprecated read-only view over a client's metrics registry.
-
-    Kept so pre-``repro.obs`` callers (``client.stats.bytes_uploaded``,
-    ``client.stats.sift_seconds``) keep working; every attribute emits a
-    :class:`DeprecationWarning` pointing at the replacement.  Latency
-    lists are reservoir snapshots — exact until ~1k frames, a uniform
-    subsample after.
-    """
-
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
-        self._registry = registry if registry is not None else MetricsRegistry()
-
-    def _counter_value(self, name: str, replacement: str) -> int:
-        _deprecated(
-            f"ClientStats.{replacement} is deprecated; read "
-            f"client.metrics.counter({name!r}).value instead"
-        )
-        return int(self._registry.counter(name).value)
-
-    @property
-    def frames_processed(self) -> int:
-        return self._counter_value("client_frames_total", "frames_processed")
-
-    @property
-    def frames_rejected_blur(self) -> int:
-        return self._counter_value(
-            "client_frames_rejected_blur_total", "frames_rejected_blur"
-        )
-
-    @property
-    def keypoints_extracted(self) -> int:
-        return self._counter_value(
-            "client_keypoints_extracted_total", "keypoints_extracted"
-        )
-
-    @property
-    def keypoints_uploaded(self) -> int:
-        return self._counter_value(
-            "client_keypoints_uploaded_total", "keypoints_uploaded"
-        )
-
-    @property
-    def bytes_uploaded(self) -> int:
-        return self._counter_value("client_upload_bytes_total", "bytes_uploaded")
-
-    def _stage_samples(self, stage: str) -> list[float]:
-        _deprecated(
-            f"ClientStats.{stage}_seconds is deprecated; read "
-            f"client.metrics.histogram('client_{stage}_seconds').values() "
-            "or client.latency_quantiles(stage) instead"
-        )
-        return self._registry.histogram(f"client_{stage}_seconds").values()
-
-    @property
-    def sift_seconds(self) -> list[float]:
-        return self._stage_samples("sift")
-
-    @property
-    def oracle_seconds(self) -> list[float]:
-        return self._stage_samples("oracle")
 
 
 @dataclass(frozen=True)
@@ -155,7 +87,6 @@ class VisualPrintClient:
         # How many ladder rungs recent submissions had to step down;
         # starts the next submission pre-degraded (see DESIGN.md §9).
         self._backpressure_level = 0
-        self._stats_view: ClientStats | None = None
         self._m_stage_seconds = {
             stage: self._registry.histogram(
                 f"client_{stage}_seconds",
@@ -184,6 +115,27 @@ class VisualPrintClient:
             buckets=DEFAULT_BYTE_BUCKETS,
         )
 
+    @classmethod
+    def from_config(
+        cls,
+        oracle: UniquenessOracle,
+        config: ClientConfig | None = None,
+        blur_detector: "BlurDetector | None" = None,
+        registry: MetricsRegistry | None = None,
+    ) -> "VisualPrintClient":
+        """Build a client from a :class:`repro.core.config.ClientConfig`."""
+        config = config or ClientConfig(pipeline=oracle.config)
+        return cls(
+            oracle,
+            config=config.pipeline,
+            sift_params=config.sift,
+            blur_detector=blur_detector,
+            registry=registry,
+            retry_policy=config.retry,
+            degrade_floor=config.degrade_floor,
+            degrade_steps=config.degrade_steps,
+        )
+
     # ------------------------------------------------------------------
     # Metrics API
     # ------------------------------------------------------------------
@@ -204,30 +156,6 @@ class VisualPrintClient:
         if stage not in _STAGES:
             raise ValueError(f"unknown stage {stage!r}; expected one of {_STAGES}")
         return self._m_stage_seconds[stage].quantiles(qs)
-
-    @property
-    def stats(self) -> ClientStats:
-        """Deprecated: use :attr:`metrics` / :meth:`latency_quantiles`."""
-        _deprecated(
-            "VisualPrintClient.stats is deprecated; use client.metrics "
-            "and client.latency_quantiles(stage) instead"
-        )
-        if self._stats_view is None:
-            self._stats_view = ClientStats(self._registry)
-        return self._stats_view
-
-    def median_latency(self, stage: str) -> float:
-        """Deprecated: median per-frame seconds for one stage.
-
-        Equivalent to ``client.latency_quantiles(stage)[0.5]``.
-        """
-        _deprecated(
-            "VisualPrintClient.median_latency is deprecated; use "
-            "client.latency_quantiles(stage)[0.5] instead"
-        )
-        if stage not in _STAGES:
-            raise ValueError(f"unknown stage {stage!r}; expected one of {_STAGES}")
-        return self._m_stage_seconds[stage].quantile(0.5)
 
     # ------------------------------------------------------------------
     # Pipeline

@@ -11,11 +11,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.lsh.projections import E2LSHParams
 from repro.util.validation import check_positive
 
-__all__ = ["VisualPrintConfig"]
+if TYPE_CHECKING:  # avoid import cycles; configs only reference these
+    from repro.features.sift import SiftParams
+    from repro.network.faults import RetryPolicy
+
+__all__ = ["ClientConfig", "ServerConfig", "VisualPrintConfig"]
 
 
 def _counters_for_capacity(capacity: int, hashes_per_insert: int) -> int:
@@ -88,3 +93,66 @@ class VisualPrintConfig:
         from dataclasses import replace
 
         return replace(self, descriptor_capacity=2_500_000)
+
+
+_ADMISSION_MODES = ("wait", "reject")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything the server-side stack needs, as one config object.
+
+    ``pipeline`` carries the paper's LSH/Bloom operating point
+    (:class:`VisualPrintConfig`); the remaining fields describe the
+    serving topology a :class:`repro.serving.ServingFrontend` builds
+    from this config (shard count, per-shard execution mode, queue
+    bound, admission policy).  ``VisualPrintServer.from_config`` reads
+    only ``pipeline`` — a single-shard engine needs no topology.
+    """
+
+    pipeline: VisualPrintConfig = field(default_factory=VisualPrintConfig)
+    # Serving topology (see repro.serving.ServingFrontend.from_config).
+    num_shards: int = 1
+    workers: int = 1
+    queue_depth: int = 64
+    admission: str = "wait"
+    hash_replicas: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("num_shards", self.num_shards)
+        check_positive("queue_depth", self.queue_depth)
+        check_positive("hash_replicas", self.hash_replicas)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.admission not in _ADMISSION_MODES:
+            raise ValueError(
+                f"admission must be one of {_ADMISSION_MODES}, "
+                f"got {self.admission!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Everything the client library needs, as one config object.
+
+    Replaces the grab-bag of positional kwargs on
+    :class:`repro.core.VisualPrintClient`: ``pipeline`` is the shared
+    operating point, ``sift`` overrides extractor tuning (``None`` keeps
+    the client's default low-contrast threshold), ``retry`` is the
+    uplink retry policy, and the ``degrade_*`` fields shape the
+    fingerprint degradation ladder (DESIGN.md §9).
+    """
+
+    pipeline: VisualPrintConfig = field(default_factory=VisualPrintConfig)
+    sift: "SiftParams | None" = None
+    retry: "RetryPolicy | None" = None
+    degrade_floor: int = 16
+    degrade_steps: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("degrade_floor", self.degrade_floor)
+        if self.degrade_steps < 0:
+            raise ValueError(
+                f"degrade_steps must be >= 0, got {self.degrade_steps}"
+            )

@@ -90,12 +90,21 @@ def run(
     channel: str = "lte",
     faults: FaultSpec | None = None,
     retry: RetryPolicy | None = None,
+    serving: int | None = None,
 ) -> dict:
     """Returns per-scheme precision/recall value arrays (CDF inputs).
 
     ``workers`` fans out the three serial hot paths — workload
     extraction, oracle wardrive ingest, and each scheme's query loop —
     across a process pool; results are bit-identical to ``workers=1``.
+
+    ``serving`` routes every scheme's query loop through a
+    :class:`repro.serving.ServingFrontend` with that many shards (one
+    venue per scheme, inline workers).  Queries execute in admission
+    order in this process, so results — predictions, spans, metrics —
+    are bit-identical to the direct path regardless of the shard count;
+    what changes is the request path (admission, routing, per-shard
+    accounting), which is exactly what the CI serving smoke diffs.
 
     With ``retry`` set (the ``--channel-loss`` CLI path), each scheme's
     query uploads additionally replay through ``channel`` under
@@ -115,6 +124,12 @@ def run(
     oracle = build_oracle(workload, workers=workers)
     matcher = LshMatcher(database.descriptors)
 
+    frontend = None
+    if serving is not None:
+        from repro.serving import ServingFrontend
+
+        frontend = ServingFrontend(num_shards=serving, seed=seed)
+
     results = [
         run_random(
             workload,
@@ -123,6 +138,7 @@ def run(
             count=random_count,
             min_votes=min_votes,
             workers=workers,
+            frontend=frontend,
         ),
         run_visualprint(
             workload,
@@ -132,6 +148,7 @@ def run(
             count=small_count,
             min_votes=min_votes,
             workers=workers,
+            frontend=frontend,
         ),
         run_visualprint(
             workload,
@@ -141,13 +158,29 @@ def run(
             count=large_count,
             min_votes=min_votes,
             workers=workers,
+            frontend=frontend,
         ),
-        run_lsh(workload, database, matcher, min_votes=min_votes, workers=workers),
+        run_lsh(
+            workload,
+            database,
+            matcher,
+            min_votes=min_votes,
+            workers=workers,
+            frontend=frontend,
+        ),
     ]
     if include_bruteforce:
         results.append(
-            run_bruteforce(workload, database, min_votes=min_votes, workers=workers)
+            run_bruteforce(
+                workload,
+                database,
+                min_votes=min_votes,
+                workers=workers,
+                frontend=frontend,
+            )
         )
+    if frontend is not None:
+        frontend.close()
     cdfs = evaluate_scheme_cdfs(results, database)
     out = {
         "cdfs": cdfs,

@@ -65,6 +65,38 @@ def _process_frame(frame: int, context: tuple) -> tuple[int, int, TraceContext |
     return fingerprint.upload_bytes, len(fingerprint), client.tracer.last_context()
 
 
+class _UplinkEngine:
+    """The uplink transfer leg as a serving-layer venue engine.
+
+    One payload is a ``_process_frame`` outcome; serving it prices the
+    fingerprint on the channel (or pushes it down the retry/degradation
+    path) inside the frame's trace context.  The engine consumes the
+    shared jitter rng sequentially, so results are identical whether
+    the legs run in a plain loop or in admission order through an
+    inline :class:`repro.serving.ServingFrontend`.
+    """
+
+    def __init__(self, channel_model, rng, retry=None, registry=None) -> None:
+        self.channel_model = channel_model
+        self.rng = rng
+        self.retry = retry
+        self.registry = registry
+
+    def serve(self, payload):
+        size, num_keypoints, trace_context = payload
+        with use_trace_context(trace_context):
+            if self.retry is None:
+                return self.channel_model.transfer_seconds(size, self.rng)
+            ladder = [
+                serialized_size(count)
+                for count in degradation_keep_counts(num_keypoints)
+            ]
+            return submit_payload(
+                self.channel_model, ladder, self.retry, self.rng,
+                registry=self.registry,
+            )
+
+
 def run(
     seed: int = 7,
     num_frames: int = 20,
@@ -74,6 +106,7 @@ def run(
     workers: int = 1,
     faults: FaultSpec | None = None,
     retry: RetryPolicy | None = None,
+    serving: int | None = None,
 ) -> dict:
     """Returns per-frame SIFT, oracle, and transfer latency samples.
 
@@ -83,6 +116,11 @@ def run(
     registry in deterministic chunk order.  Transfer jitter — and every
     fault/retry decision — is applied in the parent, consuming its rng
     streams sequentially, so the samples match a serial run exactly.
+
+    ``serving`` routes the transfer legs through an inline
+    :class:`repro.serving.ServingFrontend` venue (``fig16/uplink``)
+    instead of the plain loop; admission order is submission order, so
+    the rng draw sequence — and every sample — is unchanged.
     """
     library = SceneLibrary(
         seed=seed,
@@ -119,24 +157,25 @@ def run(
         FaultyChannel(uplink, faults) if faults is not None else uplink
     )
     rng = rng_for(seed, "fig16/jitter")
+    uplink_engine = _UplinkEngine(channel_model, rng, retry=retry, registry=registry)
+    if serving is not None:
+        from repro.serving import ServingFrontend
+
+        # Each simulated transfer joins its originating frame's trace;
+        # the legs run in admission order, preserving the rng sequence.
+        with ServingFrontend(num_shards=serving, seed=seed) as frontend:
+            frontend.register_venue("fig16/uplink", uplink_engine)
+            legs = frontend.map("fig16/uplink", outcomes)
+    else:
+        legs = [uplink_engine.serve(outcome) for outcome in outcomes]
+
     transfer = []
     result_extra: dict = {}
     if retry is None:
-        for size, _, trace_context in outcomes:
-            # Each simulated transfer joins its originating frame's trace.
-            with use_trace_context(trace_context):
-                transfer.append(channel_model.transfer_seconds(size, rng))
+        transfer = [float(leg) for leg in legs]
     else:
         delivered = degraded = abandoned = retries = 0
-        for size, num_keypoints, trace_context in outcomes:
-            ladder = [
-                serialized_size(count)
-                for count in degradation_keep_counts(num_keypoints)
-            ]
-            with use_trace_context(trace_context):
-                outcome = submit_payload(
-                    channel_model, ladder, retry, rng, registry=registry
-                )
+        for outcome in legs:
             retries += outcome.retries
             if outcome.delivered:
                 delivered += 1

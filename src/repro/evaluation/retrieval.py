@@ -26,6 +26,7 @@ from repro.parallel import get_shared, parallel_map
 from repro.util.rng import rng_for
 
 __all__ = [
+    "RetrievalSchemeEngine",
     "build_scene_database",
     "build_oracle",
     "evaluate_scheme_cdfs",
@@ -94,15 +95,17 @@ class _UniquenessSelector:
         return keypoints.select(order[: self.count])
 
 
-def _predict_one(query_index: int) -> tuple[int, int]:
-    """Match one query against the scene database (pool worker body).
+def _predict_with(context, query_index: int) -> tuple[int, int]:
+    """Match one query against the scene database (the shared hot path).
 
+    ``context`` is the 7-tuple a scheme run shares with its executors
+    (queries, labels, matcher, selector, ratio, min_votes, scheme).
     Each query runs under a "query" root span (labeled with scheme and
     index) so retrieval runs yield per-query traces; any spans opened
     while it is active (e.g. ``oracle.lookup_batch``) nest underneath
     automatically.
     """
-    queries, labels, matcher, select, ratio, min_votes, scheme = get_shared()
+    queries, labels, matcher, select, ratio, min_votes, scheme = context
     keypoints = queries[query_index]
     with trace_span("query", query_index=query_index, scheme=scheme) as span:
         selected = select(query_index, keypoints)
@@ -114,6 +117,28 @@ def _predict_one(query_index: int) -> tuple[int, int]:
     return int(outcome.predicted_scene), len(selected)
 
 
+def _predict_one(query_index: int) -> tuple[int, int]:
+    """Pool-worker body: read the shared context, run the hot path."""
+    return _predict_with(get_shared(), query_index)
+
+
+class RetrievalSchemeEngine:
+    """One scheme's query path as a serving-layer venue engine.
+
+    ``serve(query_index)`` answers exactly what :func:`_predict_one`
+    computes in a pool worker, so a fig13 run routed through a
+    :class:`repro.serving.ServingFrontend` (inline workers) is
+    bit-identical to the ``parallel_map`` path — same selector RNG
+    streams, same spans, same registry records.
+    """
+
+    def __init__(self, context) -> None:
+        self._context = context
+
+    def serve(self, query_index: int) -> tuple[int, int]:
+        return _predict_with(self._context, query_index)
+
+
 def _predict_all(
     scheme: str,
     workload: RetrievalWorkload,
@@ -123,21 +148,28 @@ def _predict_all(
     ratio: float,
     min_votes: int,
     workers: int = 1,
+    frontend=None,
 ) -> SchemeResult:
-    outcomes = parallel_map(
-        _predict_one,
-        range(workload.num_queries),
-        workers=workers,
-        shared=(
-            workload.query_keypoints,
-            database.labels,
-            matcher,
-            select,
-            ratio,
-            min_votes,
-            scheme,
-        ),
+    context = (
+        workload.query_keypoints,
+        database.labels,
+        matcher,
+        select,
+        ratio,
+        min_votes,
+        scheme,
     )
+    if frontend is not None:
+        venue = f"fig13/{scheme}"
+        frontend.register_venue(venue, RetrievalSchemeEngine(context))
+        outcomes = frontend.map(venue, range(workload.num_queries))
+    else:
+        outcomes = parallel_map(
+            _predict_one,
+            range(workload.num_queries),
+            workers=workers,
+            shared=context,
+        )
     predictions = np.array([p for p, _ in outcomes], dtype=np.int64)
     uploaded = np.array([u for _, u in outcomes], dtype=np.int64)
     return SchemeResult(
@@ -157,6 +189,7 @@ def run_random(
     ratio: float = 0.8,
     min_votes: int = 8,
     workers: int = 1,
+    frontend=None,
 ) -> SchemeResult:
     """Random-k: uniform subselection, server LSH matching."""
     return _predict_all(
@@ -168,6 +201,7 @@ def run_random(
         ratio,
         min_votes,
         workers=workers,
+        frontend=frontend,
     )
 
 
@@ -180,6 +214,7 @@ def run_visualprint(
     ratio: float = 0.8,
     min_votes: int = 8,
     workers: int = 1,
+    frontend=None,
 ) -> SchemeResult:
     """VisualPrint-k: oracle-ranked top-k, server LSH matching."""
     return _predict_all(
@@ -191,6 +226,7 @@ def run_visualprint(
         ratio,
         min_votes,
         workers=workers,
+        frontend=frontend,
     )
 
 
@@ -201,6 +237,7 @@ def run_lsh(
     ratio: float = 0.8,
     min_votes: int = 8,
     workers: int = 1,
+    frontend=None,
 ) -> SchemeResult:
     """LSH: all query keypoints through the approximate matcher."""
     return _predict_all(
@@ -212,6 +249,7 @@ def run_lsh(
         ratio,
         min_votes,
         workers=workers,
+        frontend=frontend,
     )
 
 
@@ -222,6 +260,7 @@ def run_bruteforce(
     ratio: float = 0.8,
     min_votes: int = 8,
     workers: int = 1,
+    frontend=None,
 ) -> SchemeResult:
     """BruteForce: all query keypoints through exact NN."""
     matcher = matcher or BruteForceMatcher(database.descriptors)
@@ -234,6 +273,7 @@ def run_bruteforce(
         ratio,
         min_votes,
         workers=workers,
+        frontend=frontend,
     )
 
 

@@ -8,7 +8,7 @@ latency experiments, and a seeded fault-injection layer
 (:class:`FaultyChannel`, :class:`RetryPolicy`) for chaos runs.
 """
 
-from repro.network.channel import CHANNEL_PRESETS, UplinkChannel
+from repro.network.channel import CHANNEL_PRESETS, UplinkChannel, resolve_channel
 from repro.network.faults import (
     FaultSpec,
     FaultyChannel,
@@ -37,6 +37,7 @@ __all__ = [
     "UploadTrace",
     "fps_curve",
     "record_wasted_transfer",
+    "resolve_channel",
     "simulate_stream",
     "submit_payload",
     "sustainable_fps",

@@ -20,7 +20,7 @@ import numpy as np
 from repro.obs import DEFAULT_BYTE_BUCKETS, current_registry, record_span
 from repro.util.validation import check_positive
 
-__all__ = ["UplinkChannel", "CHANNEL_PRESETS"]
+__all__ = ["UplinkChannel", "CHANNEL_PRESETS", "resolve_channel"]
 
 
 def _record_transfer(
@@ -177,3 +177,19 @@ CHANNEL_PRESETS: dict[str, UplinkChannel] = {
     ),
     "wifi": UplinkChannel(name="wifi", bandwidth_mbps=30.0, rtt_ms=15.0),
 }
+
+
+def resolve_channel(name: str) -> UplinkChannel:
+    """Look up a channel preset by name, with a helpful error.
+
+    The single resolution point for CLI ``--channel`` flags (experiment
+    subcommands, ``repro serve``): unknown names fail fast listing the
+    presets instead of surfacing a bare ``KeyError`` deep in a driver.
+    """
+    try:
+        return CHANNEL_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown channel {name!r}; available presets: "
+            f"{', '.join(sorted(CHANNEL_PRESETS))}"
+        ) from None

@@ -1,0 +1,50 @@
+"""Multi-venue serving layer: registry, shards, and the async front-end.
+
+The paper's offload story implies a server fielding fingerprint queries
+from many clients across many venues; :mod:`repro.core` provides the
+single-venue engine (:class:`repro.core.VisualPrintServer`), and this
+package scales it out:
+
+* :class:`ConsistentHashRing` — stable, minimal-remap placement of
+  venues onto shards (``hashring``).
+* :class:`VenueRegistry` — venue name → engine, plus per-venue
+  snapshot/restore and oracle-download flows through the existing
+  integrity layer (``registry``).
+* :class:`InlineShardWorker` / :class:`ProcessShardWorker` — execution
+  backends per shard (``shards``).
+* :class:`ServingFrontend` — the asyncio admission/routing layer with
+  bounded-queue backpressure and per-shard saturation gauges
+  (``frontend``).
+* :func:`simulate_shard_throughput` — discrete-event capacity model
+  replaying measured service times over shard queues (``loadsim``).
+"""
+
+from repro.serving.frontend import ServingFrontend, ShardSaturatedError
+from repro.serving.hashring import ConsistentHashRing
+from repro.serving.loadsim import (
+    ShardLoadModel,
+    SimulatedLoadResult,
+    simulate_shard_throughput,
+)
+from repro.serving.registry import VenueRegistry, load_venue_server
+from repro.serving.shards import (
+    EngineSpec,
+    InlineShardWorker,
+    ProcessShardWorker,
+    resolve_serve,
+)
+
+__all__ = [
+    "ConsistentHashRing",
+    "EngineSpec",
+    "InlineShardWorker",
+    "ProcessShardWorker",
+    "ServingFrontend",
+    "ShardLoadModel",
+    "ShardSaturatedError",
+    "SimulatedLoadResult",
+    "VenueRegistry",
+    "load_venue_server",
+    "resolve_serve",
+    "simulate_shard_throughput",
+]

@@ -1,0 +1,114 @@
+"""Consistent-hash placement of venues onto shards.
+
+The serving layer spreads per-venue state (LSH table + counting-bloom
+oracle + 3D point store) across shard workers.  Placement must be
+*stable* — a venue's shard is a pure function of the venue name and the
+shard set, identical across processes and runs — and *incremental*:
+adding or removing one shard moves only the venues that hash into the
+affected arc of the ring (~``1/num_shards`` of them), never reshuffles
+everything, so a scale-out event invalidates the minimum amount of
+warmed per-shard state.
+
+Hash points come from SHA-256 (like :func:`repro.util.rng.derive_seed`),
+never Python's ``hash`` — the ring must not depend on
+``PYTHONHASHSEED``.  Each shard contributes ``replicas`` virtual nodes
+so the arcs even out; lookups are a binary search over the sorted point
+array.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash_point(seed: int, name: str) -> int:
+    """Stable 64-bit ring position for ``name``."""
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class ConsistentHashRing:
+    """Maps string keys (venue names) onto a set of shard ids.
+
+    >>> ring = ConsistentHashRing(["shard-0", "shard-1"])
+    >>> ring.route("office") in {"shard-0", "shard-1"}
+    True
+    """
+
+    def __init__(
+        self,
+        shards: list[str] | tuple[str, ...] = (),
+        replicas: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self.seed = int(seed)
+        self._points: list[int] = []  # sorted hash points
+        self._owners: list[str] = []  # shard owning the same-index point
+        self._shards: set[str] = set()
+        for shard in shards:
+            self.add_shard(shard)
+
+    @property
+    def shards(self) -> list[str]:
+        """Current shard ids, sorted."""
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def _virtual_points(self, shard: str) -> list[int]:
+        return [
+            _hash_point(self.seed, f"shard:{shard}:{replica}")
+            for replica in range(self.replicas)
+        ]
+
+    def add_shard(self, shard: str) -> None:
+        """Insert ``shard``'s virtual nodes; existing arcs shrink only."""
+        if not shard:
+            raise ValueError("shard id must be a non-empty string")
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already on the ring")
+        for point in self._virtual_points(shard):
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+        self._shards.add(shard)
+
+    def remove_shard(self, shard: str) -> None:
+        """Drop ``shard``; its arcs fall to the clockwise successors."""
+        if shard not in self._shards:
+            raise KeyError(f"shard {shard!r} not on the ring")
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+        self._shards.discard(shard)
+
+    def route(self, key: str) -> str:
+        """The shard owning ``key``: first virtual node clockwise."""
+        if not self._shards:
+            raise KeyError("cannot route on an empty ring")
+        point = _hash_point(self.seed, f"key:{key}")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):  # wrap past the last point
+            index = 0
+        return self._owners[index]
+
+    def placement(self, keys: list[str]) -> dict[str, list[str]]:
+        """Group ``keys`` by owning shard (every shard gets an entry)."""
+        out: dict[str, list[str]] = {shard: [] for shard in self.shards}
+        for key in keys:
+            out[self.route(key)].append(key)
+        return out

@@ -1,0 +1,140 @@
+"""Discrete-event shard-queue simulator for serving capacity studies.
+
+The repo's evaluation philosophy is simulated time: channels charge
+simulated transfer seconds, latency figures add simulated legs.  The
+serving layer follows suit.  Real per-query service times are measured
+once (by actually executing queries against a venue engine), then this
+simulator replays an open-loop arrival process against N shard queues to
+answer the capacity question — *what aggregate queries/sec does a
+topology sustain?* — independently of how many physical cores the
+measurement host happens to have.
+
+Model: queries arrive at fixed inter-arrival gaps (open loop), are
+routed to shards round-robin over a deterministic venue cycle (matching
+the consistent-hash spread of many venues over few shards), and each
+shard is a single FIFO server (matching the one-process-per-shard
+worker).  A bounded queue applies the frontend's admission policy:
+arrivals beyond ``queue_depth`` waiting entries are shed.  Throughput is
+completed queries over the makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ShardLoadModel", "SimulatedLoadResult", "simulate_shard_throughput"]
+
+
+@dataclass(frozen=True)
+class ShardLoadModel:
+    """One topology to evaluate: N shards fed by an open-loop arrival stream."""
+
+    num_shards: int
+    queue_depth: int = 64
+    # Offered load: one query every `interarrival_seconds` of simulated time.
+    interarrival_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.interarrival_seconds < 0:
+            raise ValueError("interarrival_seconds must be >= 0")
+
+
+@dataclass
+class SimulatedLoadResult:
+    """Outcome of one simulated run."""
+
+    num_shards: int
+    served: int
+    shed: int
+    makespan_seconds: float
+    busy_seconds_per_shard: list[float] = field(default_factory=list)
+    wait_seconds_total: float = 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.makespan_seconds <= 0.0:
+            return 0.0
+        return self.served / self.makespan_seconds
+
+    @property
+    def mean_wait_seconds(self) -> float:
+        return self.wait_seconds_total / self.served if self.served else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the makespan each shard spent serving."""
+        if not self.busy_seconds_per_shard or self.makespan_seconds <= 0.0:
+            return 0.0
+        busy = sum(self.busy_seconds_per_shard) / len(self.busy_seconds_per_shard)
+        return busy / self.makespan_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "num_shards": self.num_shards,
+            "served": self.served,
+            "shed": self.shed,
+            "makespan_seconds": self.makespan_seconds,
+            "queries_per_second": self.queries_per_second,
+            "mean_wait_seconds": self.mean_wait_seconds,
+            "utilization": self.utilization,
+        }
+
+
+def simulate_shard_throughput(
+    service_seconds: list[float],
+    model: ShardLoadModel,
+) -> SimulatedLoadResult:
+    """Replay measured ``service_seconds`` through ``model``'s shard queues.
+
+    Query *i* arrives at ``i * interarrival_seconds`` and is routed to
+    shard ``i % num_shards`` (the round-robin limit of hashing many
+    venues onto few shards).  Each shard serves FIFO, one query at a
+    time.  If a query arrives while its shard already holds
+    ``queue_depth`` queued-or-executing queries, it is shed
+    (``admission="reject"``); with ``interarrival_seconds=0`` and a deep
+    queue this degenerates to the closed-loop saturation throughput.
+    """
+    num_shards = model.num_shards
+    # Per-shard state: when the server frees up, and queued arrival times.
+    free_at = [0.0] * num_shards
+    backlog: list[list[float]] = [[] for _ in range(num_shards)]
+    busy = [0.0] * num_shards
+    served = 0
+    shed = 0
+    wait_total = 0.0
+    makespan = 0.0
+
+    for index, service in enumerate(service_seconds):
+        if service < 0:
+            raise ValueError(f"service time {index} is negative: {service}")
+        arrival = index * model.interarrival_seconds
+        shard = index % num_shards
+        # Retire backlog entries that started before this arrival.
+        queue = backlog[shard]
+        while queue and queue[0] <= arrival:
+            queue.pop(0)
+        if len(queue) >= model.queue_depth:
+            shed += 1
+            continue
+        start = max(arrival, free_at[shard])
+        finish = start + service
+        free_at[shard] = finish
+        queue.append(finish)
+        busy[shard] += service
+        wait_total += start - arrival
+        served += 1
+        if finish > makespan:
+            makespan = finish
+
+    return SimulatedLoadResult(
+        num_shards=num_shards,
+        served=served,
+        shed=shed,
+        makespan_seconds=makespan,
+        busy_seconds_per_shard=busy,
+        wait_seconds_total=wait_total,
+    )

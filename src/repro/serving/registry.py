@@ -1,0 +1,175 @@
+"""The venue registry: names → engines → shards.
+
+A *venue* is one deployed VisualPrint site (an office, a museum wing): a
+keypoint-to-3D LSH table, a curated counting-bloom oracle, and the 3D
+point store — i.e. one :class:`repro.core.VisualPrintServer` acting as
+the single-shard engine.  The registry is the serving layer's source of
+truth for which venues exist, which shard owns each (consistent
+hashing, see :class:`repro.serving.ConsistentHashRing`), and how venue
+state moves in and out of durable storage.
+
+Persistence and download flows are *per venue* and route through the
+existing integrity layer: :meth:`save_venue`/:meth:`load_venue` commit
+and restore checksummed generations via
+:class:`repro.core.persistence.ServerStateStore` (rollback to last-good
+on corruption), and :meth:`refresh_venue` drives a client-side
+:class:`repro.core.OracleRefresher` against the venue's oracle with
+swap-in validation and quarantine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.serving.hashring import ConsistentHashRing
+from repro.serving.shards import EngineSpec
+
+__all__ = ["VenueRegistry", "load_venue_server"]
+
+
+def load_venue_server(root: str | Path, name: str, registry=None):
+    """Restore venue ``name``'s server from its snapshot store.
+
+    Module-level and picklable on its arguments, so it doubles as the
+    :class:`repro.serving.shards.EngineSpec` builder for process-mode
+    shards: each worker restores its venues from the verified store
+    inside its own registry scope.
+    """
+    from repro.core.persistence import ServerStateStore
+
+    store = ServerStateStore(Path(root) / name, registry=registry)
+    server, _ = store.load()
+    return server
+
+
+class VenueRegistry:
+    """Venue name → engine placement over a consistent-hash ring."""
+
+    def __init__(
+        self,
+        num_shards: int = 1,
+        replicas: int = 64,
+        seed: int = 0,
+        shard_ids: list[str] | None = None,
+    ) -> None:
+        if shard_ids is None:
+            if num_shards < 1:
+                raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+            shard_ids = [f"shard-{index}" for index in range(num_shards)]
+        self.ring = ConsistentHashRing(shard_ids, replicas=replicas, seed=seed)
+        self._engines: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def venues(self) -> list[str]:
+        """Registered venue names, sorted."""
+        return sorted(self._engines)
+
+    @property
+    def shard_ids(self) -> list[str]:
+        return self.ring.shards
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._engines
+
+    def register(self, name: str, engine: Any) -> str:
+        """Add a venue; returns the shard id the ring places it on.
+
+        ``engine`` is a live engine (``serve``/``localize``), a bare
+        :class:`repro.core.VisualPrintServer`, or an
+        :class:`repro.serving.shards.EngineSpec` builder for process
+        shards.
+        """
+        if not name:
+            raise ValueError("venue name must be a non-empty string")
+        if name in self._engines:
+            raise ValueError(f"venue {name!r} already registered")
+        self._engines[name] = engine
+        return self.shard_for(name)
+
+    def unregister(self, name: str) -> None:
+        if name not in self._engines:
+            raise KeyError(f"venue {name!r} not registered")
+        del self._engines[name]
+
+    def engine(self, name: str) -> Any:
+        if name not in self._engines:
+            raise KeyError(f"venue {name!r} not registered")
+        return self._engines[name]
+
+    def shard_for(self, name: str) -> str:
+        """The shard owning ``name`` (pure ring function; any string routes)."""
+        return self.ring.route(name)
+
+    def placement(self) -> dict[str, list[str]]:
+        """Shard id → sorted venue names currently placed there."""
+        return self.ring.placement(self.venues)
+
+    # ------------------------------------------------------------------
+    # Durable state, per venue
+    # ------------------------------------------------------------------
+
+    def venue_store(self, name: str, root: str | Path, registry=None):
+        """The venue's generational snapshot store under ``root/name``."""
+        from repro.core.persistence import ServerStateStore
+
+        return ServerStateStore(Path(root) / name, registry=registry)
+
+    def save_venue(self, name: str, root: str | Path, registry=None) -> int:
+        """Commit the venue's server state as a new checksummed generation."""
+        server = self._require_server(name)
+        return self.venue_store(name, root, registry=registry).save(server)
+
+    def load_venue(self, name: str, root: str | Path, registry=None) -> str:
+        """Restore a venue from its store and register it; returns its shard.
+
+        Rollback and corruption semantics are the store's: the newest
+        generation that verifies wins, and
+        :class:`repro.bloom.SnapshotCorruptError` escapes when nothing
+        does.
+        """
+        server = load_venue_server(root, name, registry=registry)
+        return self.register(name, server)
+
+    def spec_for_stored_venue(self, name: str, root: str | Path) -> EngineSpec:
+        """A picklable builder restoring ``name`` from ``root`` in a worker."""
+        return EngineSpec(load_venue_server, str(root), name)
+
+    def refresh_venue(
+        self,
+        name: str,
+        refresher,
+        channel=None,
+        rng: np.random.Generator | None = None,
+        now_seconds: float = 0.0,
+    ):
+        """Pull this venue's oracle down into ``refresher``'s client copy.
+
+        The per-venue download flow: delta-or-snapshot selection, retry
+        over ``channel``, swap-in validation, quarantine on corruption —
+        all :class:`repro.core.OracleRefresher` semantics, aimed at the
+        venue's published oracle.
+        """
+        server = self._require_server(name)
+        return refresher.refresh(
+            server.publish_oracle(), channel=channel, rng=rng, now_seconds=now_seconds
+        )
+
+    def _require_server(self, name: str):
+        engine = self.engine(name)
+        server = getattr(engine, "server", engine)
+        if not hasattr(server, "oracle"):
+            raise TypeError(
+                f"venue {name!r} engine ({type(engine).__name__}) does not "
+                "expose VisualPrintServer state"
+            )
+        return server

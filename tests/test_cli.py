@@ -38,3 +38,16 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_serving_flag_rejected_for_unaware_experiment(self, capsys):
+        assert main(["fig15", "--serving", "2"]) == 2
+        assert "--serving is not supported" in capsys.readouterr().out
+
+    def test_serve_subcommand_smoke(self, tmp_path, capsys):
+        # Full serve lifecycle is covered in tests/test_serving.py; this
+        # pins the subcommand's dispatch from the main entry point.
+        state = tmp_path / "venues"
+        assert main(["serve", "--state", str(state), "--bootstrap", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "bootstrapped 1 venue(s)" in out
+        assert "shard-0: venue-0" in out

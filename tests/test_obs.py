@@ -1,10 +1,10 @@
 """Tests for the observability layer (repro.obs) and its pipeline wiring.
 
 Covers: histogram quantiles, Prometheus escaping and round-trip, span
-nesting, the contextual registry, the deprecated ClientStats /
-median_latency shims, oracle lookup_batch vs scalar lookup (including a
-hypothesis property for counts), incremental LshIndex.insert
-equivalence, and the CLI --metrics-json path.
+nesting, the contextual registry, removal of the ClientStats /
+median_latency deprecation-cycle shims, oracle lookup_batch vs scalar
+lookup (including a hypothesis property for counts), incremental
+LshIndex.insert equivalence, and the CLI --metrics-json path.
 """
 
 from __future__ import annotations
@@ -18,7 +18,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import UniquenessOracle, VisualPrintClient, VisualPrintConfig
-from repro.core.client import ClientStats
 from repro.features.keypoint import KeypointSet
 from repro.lsh import LshIndex
 from repro.network import CHANNEL_PRESETS
@@ -336,42 +335,29 @@ class TestClientMetricsApi:
         assert root.child("serialize") is not None
 
 
-class TestDeprecatedShims:
-    def test_stats_property_warns(self, trained_oracle, config):
-        client = VisualPrintClient(trained_oracle, config)
-        with pytest.warns(DeprecationWarning, match="client.metrics"):
-            client.stats
+class TestDeprecationCycleComplete:
+    """The ClientStats / median_latency shims finished their cycle."""
 
-    def test_stats_fields_track_registry(self, trained_oracle, config, descriptors_1k):
+    def test_shims_are_gone(self, trained_oracle, config):
+        import repro.core.client as client_module
+
+        client = VisualPrintClient(trained_oracle, config)
+        assert not hasattr(client_module, "ClientStats")
+        assert not hasattr(client, "stats")
+        assert not hasattr(client, "median_latency")
+        assert "ClientStats" not in client_module.__all__
+
+    def test_replacement_surface(self, trained_oracle, config, descriptors_1k):
         client = VisualPrintClient(trained_oracle, config)
         client.fingerprint_keypoints(_keypoints_from(descriptors_1k[:50]))
         client.fingerprint_keypoints(_keypoints_from(descriptors_1k[50:100]))
-        with pytest.warns(DeprecationWarning):
-            assert client.stats.frames_processed == 2
-        with pytest.warns(DeprecationWarning):
-            assert client.stats.keypoints_extracted == 100
-        with pytest.warns(DeprecationWarning):
-            assert client.stats.bytes_uploaded > 0
-        with pytest.warns(DeprecationWarning):
-            assert len(client.stats.oracle_seconds) == 2
-
-    def test_median_latency_warns_and_matches_quantiles(
-        self, trained_oracle, config, descriptors_1k
-    ):
-        client = VisualPrintClient(trained_oracle, config)
-        client.fingerprint_keypoints(_keypoints_from(descriptors_1k[:50]))
-        with pytest.warns(DeprecationWarning, match="latency_quantiles"):
-            median = client.median_latency("oracle")
-        assert median == client.latency_quantiles("oracle")[0.5]
-        # The shim warns before validating the stage name; capture the
-        # warning (errors under -W error otherwise) and expect the raise.
-        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
-            client.median_latency("gpu")
-
-    def test_standalone_clientstats_reads_empty_registry(self):
-        stats = ClientStats()
-        with pytest.warns(DeprecationWarning):
-            assert stats.frames_processed == 0
+        assert client.metrics.counter("client_frames_total").value == 2
+        assert client.metrics.counter("client_keypoints_extracted_total").value == 100
+        assert client.metrics.counter("client_upload_bytes_total").value > 0
+        quantiles = client.latency_quantiles("oracle")
+        assert set(quantiles) == {0.5, 0.9, 0.99}
+        with pytest.raises(ValueError):
+            client.latency_quantiles("gpu")
 
 
 class TestOracleLookupBatch:

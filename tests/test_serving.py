@@ -1,0 +1,521 @@
+"""Tests for the multi-venue serving layer (repro.serving).
+
+Covers: consistent-hash placement (determinism, minimal remapping,
+hypothesis round-trip of route→shard→venue), the venue registry's
+per-venue save/load/refresh flows, frontend admission/routing/metrics
+in inline and process modes, topology changes under live venues, the
+discrete-event load simulator, retrieval-path parity through the
+frontend, and the ``repro serve`` CLI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    OracleRefresher,
+    ServerConfig,
+    UniquenessOracle,
+    VisualPrintConfig,
+    VisualPrintServer,
+)
+from repro.obs import MetricsRegistry
+from repro.serving import (
+    ConsistentHashRing,
+    EngineSpec,
+    ServingFrontend,
+    ShardLoadModel,
+    ShardSaturatedError,
+    VenueRegistry,
+    simulate_shard_throughput,
+)
+from repro.util.rng import rng_for
+from repro.wardrive.environment import random_sift_descriptor
+
+_KEYS = [f"venue-{index}" for index in range(200)]
+
+
+def _small_server(seed: int = 3, count: int = 80) -> VisualPrintServer:
+    rng = rng_for(seed, "test-serving/server")
+    server = VisualPrintServer(
+        VisualPrintConfig(descriptor_capacity=2048, fingerprint_size=10),
+        bounds=(np.zeros(3), np.array([10.0, 10.0, 3.0])),
+    )
+    descriptors = np.array([random_sift_descriptor(rng) for _ in range(count)])
+    server.ingest(descriptors, rng.uniform(0.0, 10.0, (count, 3)))
+    return server
+
+
+class _Echo:
+    """Trivial engine: serve(payload) -> (tag, payload)."""
+
+    def __init__(self, tag: str = "echo") -> None:
+        self.tag = tag
+
+    def serve(self, payload):
+        return (self.tag, payload)
+
+
+def _build_echo(tag: str) -> _Echo:
+    return _Echo(tag)
+
+
+class TestConsistentHashRing:
+    def test_route_deterministic_across_instances(self):
+        a = ConsistentHashRing(["s0", "s1", "s2"])
+        b = ConsistentHashRing(["s2", "s0", "s1"])  # insertion order irrelevant
+        assert [a.route(k) for k in _KEYS] == [b.route(k) for k in _KEYS]
+
+    def test_seed_changes_placement(self):
+        a = ConsistentHashRing(["s0", "s1", "s2"], seed=0)
+        b = ConsistentHashRing(["s0", "s1", "s2"], seed=1)
+        assert [a.route(k) for k in _KEYS] != [b.route(k) for k in _KEYS]
+
+    def test_every_shard_gets_keys(self):
+        ring = ConsistentHashRing(["s0", "s1", "s2", "s3"])
+        placement = ring.placement(_KEYS)
+        assert set(placement) == {"s0", "s1", "s2", "s3"}
+        assert all(placement.values())
+        assert sorted(sum(placement.values(), [])) == sorted(_KEYS)
+
+    def test_add_shard_moves_only_arcs_of_new_shard(self):
+        ring = ConsistentHashRing(["s0", "s1", "s2", "s3"])
+        before = {k: ring.route(k) for k in _KEYS}
+        ring.add_shard("s4")
+        after = {k: ring.route(k) for k in _KEYS}
+        moved = [k for k in _KEYS if before[k] != after[k]]
+        assert moved, "a new shard must take over some keys"
+        # Every moved key moved TO the new shard, and the churn is a
+        # minority: roughly 1/5 of keys, far below a full reshuffle.
+        assert all(after[k] == "s4" for k in moved)
+        assert len(moved) < len(_KEYS) / 2
+
+    def test_remove_shard_moves_only_its_keys(self):
+        ring = ConsistentHashRing(["s0", "s1", "s2", "s3"])
+        before = {k: ring.route(k) for k in _KEYS}
+        ring.remove_shard("s2")
+        after = {k: ring.route(k) for k in _KEYS}
+        for key in _KEYS:
+            if before[key] == "s2":
+                assert after[key] != "s2"
+            else:
+                assert after[key] == before[key]
+
+    def test_add_then_remove_restores_placement(self):
+        ring = ConsistentHashRing(["s0", "s1"])
+        before = {k: ring.route(k) for k in _KEYS}
+        ring.add_shard("s2")
+        ring.remove_shard("s2")
+        assert {k: ring.route(k) for k in _KEYS} == before
+
+    def test_validation(self):
+        ring = ConsistentHashRing(["s0"])
+        with pytest.raises(ValueError):
+            ring.add_shard("s0")
+        with pytest.raises(ValueError):
+            ring.add_shard("")
+        with pytest.raises(KeyError):
+            ring.remove_shard("missing")
+        with pytest.raises(ValueError):
+            ConsistentHashRing(replicas=0)
+        empty = ConsistentHashRing()
+        with pytest.raises(KeyError):
+            empty.route("anything")
+
+    @given(
+        names=st.lists(
+            st.text(min_size=1, max_size=30), min_size=1, max_size=40, unique=True
+        ),
+        num_shards=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_route_shard_venue_round_trip(self, names, num_shards, seed):
+        """route→shard→venue: placement inverts routing exactly."""
+        registry = VenueRegistry(num_shards, seed=seed)
+        for name in names:
+            shard = registry.register(name, _Echo(name))
+            assert shard == registry.ring.route(name) == registry.shard_for(name)
+        placement = registry.placement()
+        # Every venue appears exactly once, on the shard route() names.
+        seen = [name for venues in placement.values() for name in venues]
+        assert sorted(seen) == sorted(names)
+        for shard, venues in placement.items():
+            for name in venues:
+                assert registry.shard_for(name) == shard
+
+
+class TestVenueRegistry:
+    def test_register_and_lookup(self):
+        registry = VenueRegistry(2)
+        engine = _Echo("a")
+        shard = registry.register("a", engine)
+        assert shard in registry.shard_ids
+        assert registry.engine("a") is engine
+        assert "a" in registry and len(registry) == 1
+        with pytest.raises(ValueError):
+            registry.register("a", engine)
+        with pytest.raises(ValueError):
+            registry.register("", engine)
+        registry.unregister("a")
+        with pytest.raises(KeyError):
+            registry.engine("a")
+        with pytest.raises(KeyError):
+            registry.unregister("a")
+
+    def test_save_load_round_trip(self, tmp_path):
+        registry = VenueRegistry(2)
+        server = _small_server()
+        registry.register("office", server)
+        generation = registry.save_venue("office", tmp_path)
+        assert generation == 1
+
+        restored = VenueRegistry(2)
+        shard = restored.load_venue("office", tmp_path)
+        assert shard == registry.shard_for("office")
+        loaded = restored.engine("office")
+        np.testing.assert_array_equal(
+            loaded.oracle.counting.counters, server.oracle.counting.counters
+        )
+        np.testing.assert_array_equal(loaded.descriptors, server.descriptors)
+
+    def test_spec_for_stored_venue_builds(self, tmp_path):
+        registry = VenueRegistry(1)
+        registry.register("office", _small_server())
+        registry.save_venue("office", tmp_path)
+        spec = registry.spec_for_stored_venue("office", tmp_path)
+        assert isinstance(spec, EngineSpec)
+        rebuilt = spec.build()
+        assert rebuilt.num_mappings == registry.engine("office").num_mappings
+
+    def test_refresh_venue_pulls_oracle(self):
+        registry = VenueRegistry(1)
+        server = _small_server()
+        registry.register("office", server)
+        client_oracle = UniquenessOracle(server.config)
+        refresher = OracleRefresher(client_oracle)
+        report = registry.refresh_venue("office", refresher)
+        assert report.status == "applied"
+        np.testing.assert_array_equal(
+            client_oracle.counting.counters, server.oracle.counting.counters
+        )
+
+    def test_refresh_venue_rejects_non_server_engine(self):
+        registry = VenueRegistry(1)
+        registry.register("echo", _Echo())
+        refresher = OracleRefresher(UniquenessOracle(VisualPrintConfig()))
+        with pytest.raises(TypeError):
+            registry.refresh_venue("echo", refresher)
+
+
+class TestServingFrontend:
+    def test_inline_results_match_direct_calls(self):
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(num_shards=3, registry=registry)
+        engines = {name: _Echo(name) for name in ("a", "b", "c", "d")}
+        for name, engine in engines.items():
+            frontend.register_venue(name, engine)
+        items = [(name, index) for index in range(5) for name in engines]
+        served = frontend.map_many(items)
+        direct = [engines[name].serve(payload) for name, payload in items]
+        assert served == direct
+        frontend.close()
+
+    def test_per_shard_accounting(self):
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(num_shards=2, registry=registry)
+        for name in ("a", "b", "c"):
+            frontend.register_venue(name, _Echo(name))
+        frontend.map_many([("a", 0), ("b", 1), ("c", 2), ("a", 3)])
+        placement = frontend.placement()
+        counts = {"a": 2, "b": 1, "c": 1}
+        for shard_id, venues in placement.items():
+            expected = sum(counts[name] for name in venues)
+            served = registry.counter(
+                "serving_queries_served_total", shard=shard_id
+            ).value
+            assert served == expected
+            assert registry.gauge(
+                "serving_shard_queue_depth", shard=shard_id
+            ).value == 0
+        assert registry.gauge("serving_venues").value == 3
+        assert registry.gauge("serving_shards").value == 2
+        assert registry.histogram("serving_queue_wait_seconds").count == 4
+
+    def test_unknown_venue_fails_before_admission(self):
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(registry=registry)
+        with pytest.raises(KeyError):
+            frontend.call("missing", 1)
+        assert registry.counter(
+            "serving_queries_admitted_total", shard="shard-0"
+        ).value == 0
+
+    def test_reject_admission_sheds_when_saturated(self):
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(
+            num_shards=1, queue_depth=2, admission="reject", registry=registry
+        )
+        frontend.register_venue("a", _Echo())
+        shard = frontend.venues.shard_for("a")
+        # Inline execution never overlaps, so saturate the queue
+        # accounting directly to exercise the admission policy.
+        state = frontend._shards[shard]
+        state.set_depth(2, frontend.queue_depth)
+        with pytest.raises(ShardSaturatedError) as err:
+            frontend.call("a", 1)
+        assert err.value.shard_id == shard
+        assert registry.counter(
+            "serving_queries_rejected_total", shard=shard
+        ).value == 1
+        state.set_depth(0, frontend.queue_depth)
+        assert frontend.call("a", 1) == ("echo", 1)
+
+    def test_engine_failure_counted_and_propagates(self):
+        class Boom:
+            def serve(self, payload):
+                raise RuntimeError("engine exploded")
+
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(registry=registry)
+        frontend.register_venue("bad", Boom())
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            frontend.call("bad", 1)
+        shard = frontend.venues.shard_for("bad")
+        assert registry.counter(
+            "serving_queries_failed_total", shard=shard
+        ).value == 1
+        assert frontend.shard_saturation(shard) == 0.0
+
+    def test_bare_server_is_a_valid_engine(self):
+        frontend = ServingFrontend()
+        server = _small_server()
+        frontend.register_venue("office", server)
+        rng = rng_for(5, "test-serving/query")
+        take = rng.choice(server.num_mappings, size=16, replace=False)
+        from repro.core import Fingerprint
+        from repro.features.keypoint import KeypointSet
+
+        descriptors = server.descriptors[np.sort(take)]
+        n = len(descriptors)
+        fingerprint = Fingerprint(
+            keypoints=KeypointSet(
+                positions=rng.uniform(50, 590, (n, 2)).astype(np.float32),
+                scales=np.ones(n, np.float32),
+                orientations=np.zeros(n, np.float32),
+                responses=np.ones(n, np.float32),
+                descriptors=descriptors.astype(np.float32),
+            ),
+            uniqueness_counts=np.zeros(n, dtype=np.int64),
+        )
+        answer = frontend.call("office", fingerprint)
+        direct = server.localize(fingerprint)
+        assert answer.pose == direct.pose
+        assert answer.matched_points == direct.matched_points
+
+    def test_add_shard_moves_minimally_and_keeps_serving(self):
+        frontend = ServingFrontend(num_shards=2)
+        engines = {f"v{i}": _Echo(f"v{i}") for i in range(12)}
+        for name, engine in engines.items():
+            frontend.register_venue(name, engine)
+        before = {
+            name: frontend.venues.shard_for(name) for name in engines
+        }
+        moved = frontend.add_shard()
+        after = {name: frontend.venues.shard_for(name) for name in engines}
+        assert sorted(moved) == sorted(
+            name for name in engines if before[name] != after[name]
+        )
+        for name in moved:
+            assert after[name] == "shard-2"
+        results = frontend.map_many([(name, 1) for name in engines])
+        assert results == [(name, 1) for name in engines]
+
+    def test_remove_shard_drains_and_keeps_serving(self):
+        frontend = ServingFrontend(num_shards=3)
+        engines = {f"v{i}": _Echo(f"v{i}") for i in range(12)}
+        for name, engine in engines.items():
+            frontend.register_venue(name, engine)
+        frontend.remove_shard("shard-1")
+        assert "shard-1" not in frontend.venues.shard_ids
+        results = frontend.map_many([(name, 2) for name in engines])
+        assert results == [(name, 2) for name in engines]
+        frontend.remove_shard("shard-0")
+        with pytest.raises(ValueError):
+            frontend.remove_shard("shard-2")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServingFrontend(queue_depth=0)
+        with pytest.raises(ValueError):
+            ServingFrontend(admission="drop")
+
+    def test_from_config(self):
+        frontend = ServingFrontend.from_config(
+            ServerConfig(num_shards=3, queue_depth=7, admission="reject")
+        )
+        assert frontend.venues.shard_ids == ["shard-0", "shard-1", "shard-2"]
+        assert frontend.queue_depth == 7
+        assert frontend.admission == "reject"
+        assert not frontend.process_mode
+
+    def test_process_mode_serves_and_merges_metrics(self):
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(num_shards=2, workers=2, registry=registry)
+        frontend.register_venue("a", EngineSpec(_build_echo, "a"))
+        frontend.register_venue("b", EngineSpec(_build_echo, "b"))
+        results = frontend.map_many([("a", 1), ("b", 2), ("a", 3)])
+        assert results == [("a", 1), ("b", 2), ("a", 3)]
+        frontend.close()
+        served = sum(
+            registry.counter("serving_queries_served_total", shard=s).value
+            for s in ("shard-0", "shard-1")
+        )
+        assert served == 3
+
+    def test_process_mode_rejects_attach_after_start(self):
+        frontend = ServingFrontend(num_shards=1, workers=2)
+        frontend.register_venue("a", EngineSpec(_build_echo, "a"))
+        assert frontend.call("a", 1) == ("a", 1)
+        with pytest.raises(RuntimeError, match="already started"):
+            frontend.register_venue("b", EngineSpec(_build_echo, "b"))
+        frontend.close()
+
+
+class TestLoadSimulator:
+    def test_throughput_scales_with_shards(self):
+        service = [0.01] * 200
+        one = simulate_shard_throughput(service, ShardLoadModel(1, queue_depth=200))
+        four = simulate_shard_throughput(service, ShardLoadModel(4, queue_depth=200))
+        assert one.served == four.served == 200
+        assert four.queries_per_second >= 2.0 * one.queries_per_second
+        assert four.utilization > 0.9
+
+    def test_open_loop_sheds_beyond_queue_bound(self):
+        # Offered load 10x one shard's capacity with a tiny queue: most
+        # arrivals shed, served + shed accounts for every query.
+        result = simulate_shard_throughput(
+            [0.1] * 100,
+            ShardLoadModel(1, queue_depth=2, interarrival_seconds=0.01),
+        )
+        assert result.shed > 0
+        assert result.served + result.shed == 100
+
+    def test_underload_has_no_waiting(self):
+        result = simulate_shard_throughput(
+            [0.01] * 50,
+            ShardLoadModel(2, interarrival_seconds=1.0),
+        )
+        assert result.shed == 0
+        assert result.mean_wait_seconds == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardLoadModel(0)
+        with pytest.raises(ValueError):
+            ShardLoadModel(1, queue_depth=0)
+        with pytest.raises(ValueError):
+            simulate_shard_throughput([-1.0], ShardLoadModel(1))
+
+
+class TestServingParity:
+    """fig13's retrieval path through the frontend is bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def tiny_workload(self, tmp_path_factory):
+        from repro.evaluation.datasets import build_workload
+
+        return build_workload(
+            seed=11,
+            num_scenes=4,
+            num_distractors=8,
+            views_per_scene=2,
+            image_size=128,
+            cache_dir=tmp_path_factory.mktemp("serving-workload"),
+        )
+
+    def test_retrieval_through_frontend_matches_direct(self, tiny_workload):
+        from repro.evaluation.retrieval import (
+            build_oracle,
+            build_scene_database,
+            run_random,
+            run_visualprint,
+        )
+        from repro.matching import LshMatcher
+
+        database = build_scene_database(tiny_workload)
+        oracle = build_oracle(tiny_workload)
+        matcher = LshMatcher(database.descriptors)
+        kwargs = dict(count=40, min_votes=4)
+
+        direct = [
+            run_random(tiny_workload, database, matcher, **kwargs),
+            run_visualprint(tiny_workload, database, matcher, oracle, **kwargs),
+        ]
+        with ServingFrontend(num_shards=2) as frontend:
+            served = [
+                run_random(
+                    tiny_workload, database, matcher, frontend=frontend, **kwargs
+                ),
+                run_visualprint(
+                    tiny_workload,
+                    database,
+                    matcher,
+                    oracle,
+                    frontend=frontend,
+                    **kwargs,
+                ),
+            ]
+        for a, b in zip(direct, served):
+            assert a.scheme == b.scheme
+            np.testing.assert_array_equal(a.predicted_scenes, b.predicted_scenes)
+            np.testing.assert_array_equal(a.uploaded_keypoints, b.uploaded_keypoints)
+
+
+class TestServeCli:
+    def test_bootstrap_and_serve(self, tmp_path, capsys):
+        from repro.cli import main
+
+        state = tmp_path / "venues"
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--state",
+                    str(state),
+                    "--bootstrap",
+                    "2",
+                    "--shards",
+                    "2",
+                    "--queries",
+                    "4",
+                    "--metrics-json",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bootstrapped 2 venue(s)" in out
+        assert "served 4 queries over 2 venue(s) on 2 shard(s)" in out
+        assert metrics_path.exists()
+
+    def test_serve_existing_state(self, tmp_path, capsys):
+        from repro.cli import main
+
+        state = tmp_path / "venues"
+        assert main(["serve", "--state", str(state), "--bootstrap", "1"]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--state", str(state), "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "served 2 queries over 1 venue(s)" in out
+
+    def test_serve_empty_state_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--state", str(tmp_path / "nothing")]) == 2
+        assert "no venues found" in capsys.readouterr().out
