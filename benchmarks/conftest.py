@@ -81,6 +81,12 @@ def serving_trajectory() -> dict[str, dict]:
     return _TRAJECTORIES.setdefault("BENCH_serving.json", {})
 
 
+@pytest.fixture(scope="session")
+def sift_trajectory() -> dict[str, dict]:
+    """Mutable dict the SIFT hot-path benchmarks fill with rows."""
+    return _TRAJECTORIES.setdefault("BENCH_sift.json", {})
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Emit one BENCH_*.json per trajectory the session filled.
 

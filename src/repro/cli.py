@@ -99,6 +99,7 @@ _FAULT_AWARE = {"fig13", "fig14", "fig16", "latency"}
 _SERVING_AWARE = {"fig13", "fig16"}
 
 _FAST_PARAMS: dict[str, dict] = {
+    "fig2": dict(num_frames=6, image_size=160),
     "fig3": dict(num_images=12, image_size=160),
     "fig5": dict(num_images=12, image_size=160),
     "fig6": dict(num_scenes=6, num_distractors=10, image_size=160, cache_dir=None),

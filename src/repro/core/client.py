@@ -24,8 +24,8 @@ import numpy as np
 from repro.core.config import ClientConfig, VisualPrintConfig
 from repro.core.fingerprint import Fingerprint, degradation_keep_counts
 from repro.core.oracle import UniquenessOracle
-from repro.features.keypoint import KeypointSet
-from repro.features.serialize import serialized_size
+from repro.features.keypoint import DESCRIPTOR_DIM, KeypointSet
+from repro.features.serialize import serialize_keypoints_into, serialized_size
 from repro.features.sift import SiftExtractor, SiftParams
 from repro.network.faults import RetryPolicy, SubmissionOutcome, submit_payload
 from repro.obs import (
@@ -73,14 +73,21 @@ class VisualPrintClient:
     ) -> None:
         self.oracle = oracle
         self.config = config or oracle.config
+        self._registry = resolve_registry(registry)
         self._extractor = SiftExtractor(
-            sift_params or SiftParams(contrast_threshold=0.01)
+            sift_params or SiftParams(contrast_threshold=0.01),
+            registry=self._registry,
         )
         # Optional frame gate: "performs a quick check on each frame to
         # detect blur ... discarding such frames" (paper, client app).
         self.blur_detector = blur_detector
-        self._registry = resolve_registry(registry)
         self.tracer = Tracer(self._registry)
+        # Zero-copy serialization state: the wire payload is written into
+        # this reusable bytearray (grown once to the high-water mark),
+        # with a float32 scratch for the descriptor rint/clip pass.
+        self._serialize_buffer = bytearray()
+        self._serialize_scratch: np.ndarray | None = None
+        self._last_upload_bytes = 0
         self.retry_policy = retry_policy
         self.degrade_floor = int(degrade_floor)
         self.degrade_steps = int(degrade_steps)
@@ -308,11 +315,31 @@ class VisualPrintClient:
             status=outcome.status, fingerprint=fingerprint, outcome=outcome
         )
 
+    @property
+    def last_payload(self) -> memoryview:
+        """Wire bytes of the most recent fingerprint (a read-only view).
+
+        Valid until the next frame overwrites the shared serialization
+        buffer; callers needing to keep it must copy.
+        """
+        return memoryview(self._serialize_buffer)[: self._last_upload_bytes].toreadonly()
+
     def _account(self, keypoints: KeypointSet, fingerprint: Fingerprint) -> None:
+        count = len(fingerprint)
+        scratch = self._serialize_scratch
+        if scratch is None or scratch.shape[0] < count:
+            scratch = self._serialize_scratch = np.empty(
+                (count, DESCRIPTOR_DIM), dtype=np.float32
+            )
         with self.tracer.span("serialize") as span:
             with self._m_stage_seconds["serialize"].time():
-                upload_bytes = fingerprint.upload_bytes
+                upload_bytes = serialize_keypoints_into(
+                    fingerprint.keypoints,
+                    self._serialize_buffer,
+                    scratch=scratch[:count],
+                )
             span.set("bytes", upload_bytes)
+        self._last_upload_bytes = upload_bytes
         self._m_frames.inc()
         self._m_keypoints_extracted.inc(len(keypoints))
         self._m_keypoints_uploaded.inc(len(fingerprint))

@@ -13,7 +13,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.features.keypoint import KeypointSet
-from repro.features.serialize import deserialize_keypoints, serialize_keypoints
+from repro.features.serialize import (
+    deserialize_keypoints,
+    serialize_keypoints,
+    serialized_size,
+)
 
 __all__ = ["Fingerprint", "degradation_keep_counts"]
 
@@ -56,22 +60,23 @@ class Fingerprint:
 
     @property
     def upload_bytes(self) -> int:
-        return len(self.to_bytes())
+        """Uncompressed wire size — O(1), the records are fixed width."""
+        return serialized_size(len(self.keypoints))
 
     def truncate(self, count: int) -> "Fingerprint":
         """The same fingerprint keeping only its ``count`` most-unique keypoints.
 
         Keypoints are stored in uniqueness-rank order, so truncation is
         a prefix — this is the degradation move the client makes under
-        network backpressure.
+        network backpressure.  The result is a zero-copy view sharing
+        storage with ``self`` (see :meth:`KeypointSet.head`).
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         if count >= len(self):
             return self
-        kept = np.arange(count)
         return Fingerprint(
-            keypoints=self.keypoints.select(kept),
+            keypoints=self.keypoints.head(count),
             uniqueness_counts=self.uniqueness_counts[:count],
             frame_index=self.frame_index,
         )

@@ -173,8 +173,7 @@ class UniquenessOracle:
 
     def saturation_ratio(self) -> float:
         """Fraction of counters pinned at the saturation ceiling."""
-        counters = self.counting.counters
-        return float((counters >= self.counting.saturation).mean())
+        return self.counting.saturated_fraction()
 
     def insert(
         self,
@@ -227,15 +226,8 @@ class UniquenessOracle:
         self, table_indices: list[np.ndarray], num_descriptors: int
     ) -> None:
         """Apply precomputed per-table ``(n, K)`` indices to the filters."""
-        saturation = self.counting.saturation
-        counters = self.counting.counters
         for indices in table_indices:
-            flat = indices.ravel()
-            increments = np.zeros(self.counting.num_counters, dtype=np.int64)
-            np.add.at(increments, flat, 1)
-            touched = np.flatnonzero(increments)
-            summed = counters[touched].astype(np.int64) + increments[touched]
-            counters[touched] = np.minimum(summed, saturation).astype(np.uint16)
+            self.counting.bump_counters(indices.ravel())
             self.verification.add(indices)
         self._inserted += num_descriptors
 
@@ -296,13 +288,12 @@ class UniquenessOracle:
 
     def _counts_from_quantized(self, quantized: QuantizedBuckets) -> np.ndarray:
         """Min-counter estimate for already-quantized descriptors."""
-        counters = self.counting.counters
         estimate = np.full(
             quantized.num_items, np.iinfo(np.int64).max, dtype=np.int64
         )
         for table, family in enumerate(self._families):
             indices = family.indices(quantized.table_vectors(table))
-            table_min = counters[indices].min(axis=1).astype(np.int64)
+            table_min = self.counting.count_from_indices(indices)
             np.minimum(estimate, table_min, out=estimate)
         return estimate
 
@@ -391,7 +382,6 @@ class UniquenessOracle:
         buckets, residuals = self.projections.quantize_with_residuals(descriptors)
         quantized = QuantizedBuckets(buckets)
         counts = self._counts_from_quantized(quantized)
-        counters = self.counting.counters
         num_hashes = self.config.bloom_hashes
         quorum = (self.config.lsh.num_tables + 1) // 2
         accepting_tables = np.zeros(num, dtype=np.int64)
@@ -405,7 +395,7 @@ class UniquenessOracle:
             probes = quantized.probe_vectors(table, projections, deltas)
             num_slots = probes.shape[1]  # original + P perturbations
             indices = family.indices(probes.reshape(num * num_slots, -1))
-            probed = counters[indices]
+            probed = self.counting.gather(indices)
             nonzero = (probed > 0).sum(axis=1)
             match = (nonzero == num_hashes) | (nonzero == num_hashes - 1)
             verified = self.verification.verify(indices)

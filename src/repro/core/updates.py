@@ -206,7 +206,7 @@ def apply_delta(base: CountingBloomFilter, delta: OracleDelta | bytes) -> None:
     """
     indices, values = parse_delta(base, delta)
     clamped = np.minimum(values.astype(np.int64), base.saturation)
-    base.counters[indices.astype(np.int64)] = clamped.astype(np.uint16)
+    base.set_at(indices.astype(np.int64), clamped)
 
 
 def choose_refresh_payload(
@@ -426,9 +426,7 @@ class OracleRefresher:
         base = self.oracle.counting
         validated = validate_refresh_payload(kind, payload, base)
         if validated.kind == "delta":
-            base.counters[validated.indices.astype(np.int64)] = (
-                validated.values.astype(np.uint16)
-            )
+            base.set_at(validated.indices.astype(np.int64), validated.values)
         else:
             base.counters = validated.counters
         self.oracle.invalidate_transfer_cache()

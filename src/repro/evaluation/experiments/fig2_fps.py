@@ -15,6 +15,7 @@ from repro.codecs import H264Codec, JpegCodec, PngCodec, RawCodec
 from repro.imaging import to_uint8
 from repro.imaging.synth import SceneLibrary
 from repro.network import fps_curve
+from repro.obs import resolve_registry
 
 __all__ = ["run", "main"]
 
@@ -58,6 +59,18 @@ def run(
         name: fps_curve(bandwidths_mbps, size)
         for name, size in bytes_per_frame.items()
     }
+    # Deterministic scalars for the CI metrics-diff gate (the frames are
+    # seeded, so per-encoding sizes are fixed by the workload).
+    registry = resolve_registry(None)
+    registry.counter(
+        "fig2_frames_total", help="frames encoded in the fig2 sweep"
+    ).inc(num_frames)
+    for name, size in bytes_per_frame.items():
+        registry.gauge(
+            "fig2_bytes_per_frame",
+            help="mean encoded bytes per frame",
+            encoding=name,
+        ).set(size)
     return {
         "bandwidths_mbps": bandwidths_mbps,
         "bytes_per_frame": bytes_per_frame,

@@ -84,6 +84,27 @@ class KeypointSet:
             descriptors=self.descriptors[indices],
         )
 
+    def head(self, count: int) -> "KeypointSet":
+        """First ``count`` keypoints as zero-copy slice views.
+
+        Unlike :meth:`select` (fancy indexing, always copies), the
+        returned set shares storage with ``self`` — the degradation
+        ladder prices and emits shrunken fingerprints without
+        duplicating descriptor memory.  Callers must treat the result
+        as read-only.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count >= len(self):
+            return self
+        return KeypointSet(
+            positions=self.positions[:count],
+            scales=self.scales[:count],
+            orientations=self.orientations[:count],
+            responses=self.responses[:count],
+            descriptors=self.descriptors[:count],
+        )
+
     def top_by_response(self, count: int) -> "KeypointSet":
         """Keep the ``count`` strongest keypoints."""
         if count < 0:

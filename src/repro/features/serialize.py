@@ -30,6 +30,7 @@ from repro.features.keypoint import DESCRIPTOR_DIM, KeypointSet
 __all__ = [
     "keypoint_record_bytes",
     "serialize_keypoints",
+    "serialize_keypoints_into",
     "serialized_size",
     "deserialize_keypoints",
 ]
@@ -66,6 +67,51 @@ def serialize_keypoints(keypoints: KeypointSet, compress: bool = False) -> bytes
     if compress:
         return gzip.compress(payload, compresslevel=9)
     return payload
+
+
+def serialize_keypoints_into(
+    keypoints: KeypointSet,
+    buffer: bytearray,
+    scratch: np.ndarray | None = None,
+) -> int:
+    """Serialize into a caller-owned ``bytearray``; returns payload size.
+
+    The zero-copy counterpart of :func:`serialize_keypoints`: the header
+    is packed in place, the float metadata and uint8 descriptors are
+    written through ``np.frombuffer`` views straight into ``buffer``,
+    and the only intermediate is the (optional, reusable) float32
+    ``scratch`` used for rint/clip before the uint8 narrowing.  The
+    buffer is grown once to the high-water mark and then reused; valid
+    bytes are ``buffer[:returned_size]``.  Byte-for-byte identical to
+    ``serialize_keypoints(keypoints, compress=False)``.
+    """
+    count = len(keypoints)
+    size = serialized_size(count)
+    if len(buffer) < size:
+        buffer.extend(bytes(size - len(buffer)))
+    _HEADER.pack_into(buffer, 0, _MAGIC, count)
+    if count == 0:
+        return size
+    meta = np.frombuffer(
+        buffer, dtype="<f4", count=count * 4, offset=_HEADER.size
+    ).reshape(count, 4)
+    meta[:, 0:2] = keypoints.positions
+    meta[:, 2] = keypoints.scales
+    meta[:, 3] = keypoints.orientations
+    if scratch is None or scratch.shape != (count, DESCRIPTOR_DIM):
+        scratch = np.empty((count, DESCRIPTOR_DIM), dtype=np.float32)
+    np.rint(keypoints.descriptors, out=scratch)
+    np.clip(scratch, 0, 255, out=scratch)
+    packed = np.frombuffer(
+        buffer,
+        dtype=np.uint8,
+        count=count * DESCRIPTOR_DIM,
+        offset=_HEADER.size + count * 16,
+    ).reshape(count, DESCRIPTOR_DIM)
+    # Values are integral and within [0, 255] after the clip, so the
+    # narrowing cast is exact.
+    np.copyto(packed, scratch, casting="unsafe")
+    return size
 
 
 def deserialize_keypoints(payload: bytes) -> KeypointSet:

@@ -8,7 +8,11 @@ once — the hot path when indexing hundreds of thousands of descriptors.
 """
 
 from repro.hashing.families import HashFamily, MultiplyShiftFamily, Murmur3Family
-from repro.hashing.murmur3 import murmur3_32, murmur3_32_vectors
+from repro.hashing.murmur3 import (
+    murmur3_32,
+    murmur3_32_vectors,
+    murmur3_32_vectors_multiseed,
+)
 
 __all__ = [
     "HashFamily",
@@ -16,4 +20,5 @@ __all__ = [
     "Murmur3Family",
     "murmur3_32",
     "murmur3_32_vectors",
+    "murmur3_32_vectors_multiseed",
 ]

@@ -16,7 +16,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.hashing.murmur3 import murmur3_32_vectors
+from repro.hashing.murmur3 import murmur3_32_vectors, murmur3_32_vectors_multiseed
 from repro.util.validation import check_positive
 
 __all__ = ["HashFamily", "Murmur3Family", "MultiplyShiftFamily"]
@@ -48,6 +48,15 @@ class Murmur3Family(HashFamily):
         self.base_seed = int(base_seed)
 
     def indices(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.ascontiguousarray(vectors, dtype=np.uint32)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
+        seeds = self.base_seed + np.arange(self.num_hashes, dtype=np.int64)
+        hashes = murmur3_32_vectors_multiseed(vectors, seeds).T.astype(np.uint64)
+        return (hashes % np.uint64(self.table_size)).astype(np.int64)
+
+    def indices_reference(self, vectors: np.ndarray) -> np.ndarray:
+        """One murmur pass per seed — the pre-batched reference for parity."""
         vectors = np.ascontiguousarray(vectors, dtype=np.uint32)
         if vectors.ndim != 2:
             raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")

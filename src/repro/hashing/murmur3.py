@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["murmur3_32", "murmur3_32_vectors"]
+__all__ = ["murmur3_32", "murmur3_32_vectors", "murmur3_32_vectors_multiseed"]
 
 _C1 = 0xCC9E2D51
 _C2 = 0x1B873593
@@ -102,6 +102,41 @@ def murmur3_32_vectors(blocks: np.ndarray, seed: int = 0) -> np.ndarray:
             block = _rotl32_array(block, 15)
             block *= np.uint32(_C2)
             state ^= block
+            state = _rotl32_array(state, 13)
+            state = state * np.uint32(5) + np.uint32(0xE6546B64)
+        state ^= np.uint32(4 * n_words)
+        return _fmix32_array(state)
+
+
+def murmur3_32_vectors_multiseed(blocks: np.ndarray, seeds: np.ndarray) -> np.ndarray:
+    """Hash each row of ``blocks`` under every seed in ``seeds`` at once.
+
+    Returns shape ``(len(seeds), n)`` where row ``s`` equals
+    ``murmur3_32_vectors(blocks, seed=seeds[s])`` bit for bit: the mixing
+    of each input word into a per-chunk key is seed-independent, so it is
+    computed once and broadcast into all seed states — the per-word ops
+    are identical to the single-seed path, just stacked.
+
+    A Bloom hash family needs K seeds over the *same* vectors, so this
+    turns K full passes (each re-mixing every input word) into one.
+    """
+    blocks = np.ascontiguousarray(blocks, dtype=np.uint32)
+    if blocks.ndim != 2:
+        raise ValueError(f"blocks must be 2-D (n, words), got shape {blocks.shape}")
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if seeds.ndim != 1:
+        raise ValueError(f"seeds must be 1-D, got shape {seeds.shape}")
+    n_rows, n_words = blocks.shape
+
+    with np.errstate(over="ignore"):
+        state = np.empty((seeds.shape[0], n_rows), dtype=np.uint32)
+        state[:] = (seeds & _MASK32).astype(np.uint32)[:, None]
+        for word_index in range(n_words):
+            block = blocks[:, word_index].copy()
+            block *= np.uint32(_C1)
+            block = _rotl32_array(block, 15)
+            block *= np.uint32(_C2)
+            state ^= block[None, :]
             state = _rotl32_array(state, 13)
             state = state * np.uint32(5) + np.uint32(0xE6546B64)
         state ^= np.uint32(4 * n_words)

@@ -432,7 +432,7 @@ class TestRefresherRejection:
         validated = validate_refresh_payload(
             "delta", diff_counting_filters(old, new).payload, old
         )
-        old.counters[validated.indices.astype(np.int64)] = validated.values
+        old.set_at(validated.indices.astype(np.int64), validated.values)
         assert np.array_equal(old.counters, new.counters)
 
 
