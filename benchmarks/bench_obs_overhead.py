@@ -12,6 +12,10 @@ Three assertions the obs subsystem must keep true as it grows:
    around :meth:`UniquenessOracle.lookup_batch` costs < 5% versus the
    untraced path — the hot-path guard for the tracing layer, recorded
    as a BENCH_obs_trace.json trajectory row.
+4. Per-query SLO accounting (a :class:`QuantileSketch` observe plus an
+   :class:`SloTracker` record) around the same lookup costs < 5%
+   versus the unobserved path — the guard the SLO engine ships under,
+   recorded as a second BENCH_obs_trace.json row.
 """
 
 from __future__ import annotations
@@ -22,7 +26,15 @@ import numpy as np
 
 from repro.core import UniquenessOracle, VisualPrintConfig
 from repro.lsh import LshIndex
-from repro.obs import FlightRecorder, MetricsRegistry, TraceCollector, trace_span, use_collector
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    SloTracker,
+    TraceCollector,
+    default_objectives,
+    trace_span,
+    use_collector,
+)
 from repro.util.rng import rng_for
 
 _OVERHEAD_BUDGET = 1.05  # instrumented may cost at most 5% more
@@ -141,6 +153,68 @@ def test_lookup_tracing_overhead(benchmark, obs_trace_trajectory):
         "traced_seconds": round(traced_seconds, 6),
         "overhead_ratio": round(traced_seconds / max(baseline_seconds, 1e-9), 4),
         "budget_ratio": _OVERHEAD_BUDGET,
+    }
+
+
+def test_sketch_and_slo_overhead(benchmark, obs_trace_trajectory):
+    """Per-query sketch observe + SLO record within 5% of the bare lookup."""
+    config = VisualPrintConfig(descriptor_capacity=50_000)
+    descriptors = _descriptor_batch(1000)
+    oracle = UniquenessOracle(config, registry=MetricsRegistry(enabled=False))
+    oracle.insert(descriptors[:500])
+
+    registry = MetricsRegistry()
+    sketch = registry.sketch("serving_e2e_seconds", shard="bench")
+    tracker = SloTracker(default_objectives(), registry=registry)
+    clock = 0.0
+
+    def plain() -> None:
+        oracle.lookup_batch(descriptors)
+
+    def observed() -> None:
+        # Exactly what the serving frontend adds per served query: one
+        # e2e timing into the shard sketch and one per-scope SLO record.
+        nonlocal clock
+        start = time.perf_counter()
+        oracle.lookup_batch(descriptors)
+        elapsed = time.perf_counter() - start
+        sketch.observe(elapsed)
+        clock += 1.0
+        tracker.record(latency_seconds=elapsed, ok=True, now=clock, venue="bench")
+
+    # Warm both paths (allocator, caches) before timing.
+    plain()
+    observed()
+
+    baseline_seconds = float("inf")
+    observed_seconds = float("inf")
+
+    def interleaved() -> None:
+        nonlocal baseline_seconds, observed_seconds
+        for _ in range(25):
+            start = time.perf_counter()
+            plain()
+            baseline_seconds = min(baseline_seconds, time.perf_counter() - start)
+            start = time.perf_counter()
+            observed()
+            observed_seconds = min(observed_seconds, time.perf_counter() - start)
+
+    benchmark.pedantic(interleaved, rounds=1, iterations=1)
+    assert observed_seconds <= baseline_seconds * _OVERHEAD_BUDGET + 5e-5, (
+        f"sketch+SLO lookup_batch {observed_seconds * 1e3:.3f} ms vs "
+        f"plain {baseline_seconds * 1e3:.3f} ms exceeds "
+        f"{(_OVERHEAD_BUDGET - 1) * 100:.0f}% budget"
+    )
+    assert sketch.count >= 26  # every observed query landed in the sketch
+    assert tracker.report()["alerts_fired"] == 0
+
+    obs_trace_trajectory["lookup_batch_sketch_slo"] = {
+        "descriptors": descriptors.shape[0],
+        "plain_seconds": round(baseline_seconds, 6),
+        "observed_seconds": round(observed_seconds, 6),
+        "overhead_ratio": round(observed_seconds / max(baseline_seconds, 1e-9), 4),
+        "budget_ratio": _OVERHEAD_BUDGET,
+        "sketch_buckets": sketch.num_buckets,
     }
 
 

@@ -32,6 +32,17 @@ snapshot store per venue) and drives synthetic localization queries
 through it; it shares the observability flags above, plus
 ``--shards``/``--workers``/``--queue-depth``/``--admission`` for the
 serving topology and ``--bootstrap N`` to synthesize venues first.
+
+SLOs and events ride the same shared flags: ``--slo-report PATH``
+tracks the default latency/availability objectives (see
+:mod:`repro.obs.slo`) over every served query and writes the
+budget/burn report; ``--events-ndjson PATH`` records structured events
+(admission rejects, degradation steps, retry exhaustion, snapshot
+quarantines, topology changes) with trace correlation.  ``python -m
+repro top METRICS.json`` is the live dashboard over a snapshot being
+rewritten by a running fleet, and ``python -m repro slo-report PATH``
+renders budget/burn tables from either artifact (``--fail-on-alerts``
+makes it a CI gate).
 """
 
 from __future__ import annotations
@@ -42,14 +53,21 @@ import json
 import sys
 
 from repro.obs import (
+    EventLog,
     FlightRecorder,
     MetricsRegistry,
+    SloTracker,
     TraceCollector,
+    default_objectives,
     diff_metrics,
     format_report,
     format_trace,
+    parse_metric_key,
+    run_top,
     use_collector,
+    use_event_log,
     use_registry,
+    use_slo_tracker,
     write_chrome_trace,
     write_ndjson,
 )
@@ -160,6 +178,13 @@ def _print_metrics_summary(registry: MetricsRegistry) -> None:
                 f"p50={quantiles[0.5]:.4g} p90={quantiles[0.9]:.4g} "
                 f"sum={instrument.sum:.4g}"
             )
+        elif instrument.kind == "sketch":
+            quantiles = instrument.quantiles()
+            print(
+                f"  {label}: n={instrument.count} "
+                f"p50={quantiles[0.5]:.4g} p99={quantiles[0.99]:.4g} "
+                f"p999={quantiles[0.999]:.4g} sum={instrument.sum:.4g}"
+            )
         else:
             print(f"  {label}: {instrument.value:.6g}")
 
@@ -250,6 +275,127 @@ def _run_verify_state(argv: list[str]) -> int:
     return report.exit_code
 
 
+def _run_top(argv: list[str]) -> int:
+    """The ``top`` subcommand: live dashboard over a metrics snapshot."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Watch a --metrics-json snapshot (being rewritten by a "
+        "running fleet) as a live serving dashboard: per-shard saturation "
+        "and latency quantiles, SLO budgets/burn, recent events.",
+    )
+    parser.add_argument("metrics", help="metrics JSON path to watch")
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="NDJSON event log to tail alongside (an --events-ndjson output)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="repaint period (default 2.0)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="paint N frames then exit (default: run until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--plain",
+        action="store_true",
+        help="print frames to stdout instead of the curses UI",
+    )
+    args = parser.parse_args(argv)
+    return run_top(
+        args.metrics,
+        events_path=args.events,
+        interval_seconds=args.interval,
+        iterations=args.iterations,
+        plain=args.plain,
+    )
+
+
+def _render_slo_report(report: dict) -> str:
+    """Human rendering of an ``slo_report.json`` (SloTracker.report())."""
+    lines = []
+    for objective in report.get("objectives", ()):
+        header = (
+            f"objective {objective['name']} ({objective['kind']}, "
+            f"target {objective['target']:.3%}"
+        )
+        if objective.get("threshold_seconds") is not None:
+            header += f" within {objective['threshold_seconds']:g}s"
+        header += f", window {objective['window_seconds']:g}s)"
+        lines.append(header)
+        scopes = objective.get("scopes", ())
+        if not scopes:
+            lines.append("  (no recorded events)")
+            continue
+        lines.append(
+            f"  {'scope':<28} {'events':>7} {'bad':>5} {'err':>7} "
+            f"{'burn':>7} {'budget left':>12} {'alerts':>7}"
+        )
+        for scope in scopes:
+            scope_label = ",".join(
+                f"{k}={v}" for k, v in sorted(scope["scope"].items())
+            ) or "(fleet)"
+            flag = " !" if scope["alerting"] or scope["alerts_fired"] else ""
+            lines.append(
+                f"  {scope_label:<28} {scope['window_events']:>7} "
+                f"{scope['window_bad']:>5} {scope['error_rate']:>6.2%} "
+                f"{scope['burn_rate']:>7.2f} {scope['budget_remaining']:>11.1%} "
+                f"{scope['alerts_fired']:>7}{flag}"
+            )
+    lines.append(f"alerts fired: {report.get('alerts_fired', 0)}")
+    return "\n".join(lines)
+
+
+def _run_slo_report(argv: list[str]) -> int:
+    """The ``slo-report`` subcommand: budget/burn tables from JSON."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro slo-report",
+        description="Render SLO budget/burn tables from an slo_report.json "
+        "(a --slo-report artifact) or from a --metrics-json snapshot "
+        "containing slo_* gauges.",
+    )
+    parser.add_argument(
+        "path", help="slo_report.json or metrics JSON snapshot to render"
+    )
+    parser.add_argument(
+        "--fail-on-alerts",
+        action="store_true",
+        help="exit 1 when any burn alert fired (the CI smoke gate)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    print("=== slo report " + "=" * 46)
+    if "objectives" in data:
+        print(_render_slo_report(data))
+        alerts = int(data.get("alerts_fired", 0))
+    else:
+        from repro.obs.top import _slo_rows
+
+        rows = _slo_rows(data)
+        if rows:
+            print("\n".join(rows))
+        else:
+            print("  no SLO gauges in this snapshot (run with --slo-report)")
+        alerts = int(
+            sum(
+                float(entry["value"])
+                for key, entry in data.get("counters", {}).items()
+                if parse_metric_key(key)[0] == "slo_burn_alerts_total"
+            )
+        )
+        print(f"alerts fired: {alerts}")
+    return 1 if args.fail_on_alerts and alerts else 0
+
+
 def _print_flight_recorder(recorder: FlightRecorder) -> None:
     print("=== flight recorder " + "=" * 41)
     print(
@@ -296,6 +442,21 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="K",
         help="retain and print the K slowest query traces with full span trees",
     )
+    parser.add_argument(
+        "--slo-report",
+        metavar="PATH",
+        default=None,
+        help="track SLOs (latency + availability, default objectives) "
+        "during the run and write the budget/burn report to PATH as JSON",
+    )
+    parser.add_argument(
+        "--events-ndjson",
+        metavar="PATH",
+        default=None,
+        help="record structured events (admission rejects, degradation "
+        "steps, retry exhaustion, quarantines, topology changes) and "
+        "write them to PATH as newline-delimited JSON",
+    )
 
 
 def _make_collector(args, registry: MetricsRegistry) -> TraceCollector | None:
@@ -304,8 +465,47 @@ def _make_collector(args, registry: MetricsRegistry) -> TraceCollector | None:
     return None
 
 
+def _make_event_log(args, registry: MetricsRegistry) -> EventLog | None:
+    if getattr(args, "events_ndjson", None):
+        return EventLog(registry=registry)
+    return None
+
+
+def _make_slo_tracker(args, registry: MetricsRegistry) -> SloTracker | None:
+    if getattr(args, "slo_report", None):
+        return SloTracker(default_objectives(), registry=registry)
+    return None
+
+
+@contextlib.contextmanager
+def _obs_scope(
+    registry: MetricsRegistry,
+    collector: TraceCollector | None = None,
+    events: EventLog | None = None,
+    slo: SloTracker | None = None,
+):
+    """Install the run's observability sinks as the contextual defaults.
+
+    The event log installs before the SLO tracker so burn alerts the
+    tracker raises land in the log.
+    """
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(use_registry(registry))
+        if collector is not None:
+            stack.enter_context(use_collector(collector))
+        if events is not None:
+            stack.enter_context(use_event_log(events))
+        if slo is not None:
+            stack.enter_context(use_slo_tracker(slo))
+        yield
+
+
 def _write_obs_outputs(
-    args, registry: MetricsRegistry, collector: TraceCollector | None
+    args,
+    registry: MetricsRegistry,
+    collector: TraceCollector | None,
+    slo: SloTracker | None = None,
+    events: EventLog | None = None,
 ) -> None:
     """Emit the trace/metrics artifacts the shared obs flags asked for."""
     if collector is not None:
@@ -332,6 +532,18 @@ def _write_obs_outputs(
         with open(args.metrics_prom, "w", encoding="utf-8") as handle:
             handle.write(registry.to_prometheus())
         print(f"metrics Prometheus text written to {args.metrics_prom}")
+    if slo is not None and args.slo_report:
+        slo.write_json(args.slo_report)
+        print(
+            f"SLO report ({slo.alerts_fired} burn alerts) "
+            f"written to {args.slo_report}"
+        )
+    if events is not None and args.events_ndjson:
+        events.write_ndjson(args.events_ndjson)
+        print(
+            f"event NDJSON ({len(events)} events, {events.dropped} dropped) "
+            f"written to {args.events_ndjson}"
+        )
 
 
 def _bootstrap_venues(root, count: int, seed: int) -> list[str]:
@@ -466,62 +678,63 @@ def _run_serve(argv: list[str]) -> int:
     root = Path(args.state)
     registry = MetricsRegistry()
     collector = _make_collector(args, registry)
-    with use_registry(registry):
-        with use_collector(collector) if collector else contextlib.nullcontext():
-            if args.bootstrap > 0:
-                names = _bootstrap_venues(root, args.bootstrap, args.seed)
-                print(f"bootstrapped {len(names)} venue(s) under {root}")
+    events = _make_event_log(args, registry)
+    slo = _make_slo_tracker(args, registry)
+    with _obs_scope(registry, collector, events, slo):
+        if args.bootstrap > 0:
+            names = _bootstrap_venues(root, args.bootstrap, args.seed)
+            print(f"bootstrapped {len(names)} venue(s) under {root}")
+        else:
+            names = sorted(
+                p.name
+                for p in root.iterdir()
+                if p.is_dir() and any(p.glob("gen-*"))
+            ) if root.is_dir() else []
+        if not names:
+            print(f"no venues found under {root} (try --bootstrap N)")
+            return 2
+        frontend = ServingFrontend(
+            num_shards=args.shards,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            admission=args.admission,
+            seed=args.seed,
+            registry=registry,
+        )
+        # The parent restores every venue once: inline shards serve
+        # these copies directly; process shards rebuild their own from
+        # the store (EngineSpec), and the parent copies only feed
+        # query synthesis.
+        servers = {
+            name: load_venue_server(root, name, registry=registry)
+            for name in names
+        }
+        for name in names:
+            if args.workers > 1:
+                frontend.register_venue(
+                    name, frontend.venues.spec_for_stored_venue(name, root)
+                )
             else:
-                names = sorted(
-                    p.name
-                    for p in root.iterdir()
-                    if p.is_dir() and any(p.glob("gen-*"))
-                ) if root.is_dir() else []
-            if not names:
-                print(f"no venues found under {root} (try --bootstrap N)")
-                return 2
-            frontend = ServingFrontend(
-                num_shards=args.shards,
-                workers=args.workers,
-                queue_depth=args.queue_depth,
-                admission=args.admission,
-                seed=args.seed,
-                registry=registry,
-            )
-            # The parent restores every venue once: inline shards serve
-            # these copies directly; process shards rebuild their own from
-            # the store (EngineSpec), and the parent copies only feed
-            # query synthesis.
-            servers = {
-                name: load_venue_server(root, name, registry=registry)
-                for name in names
-            }
-            for name in names:
-                if args.workers > 1:
-                    frontend.register_venue(
-                        name, frontend.venues.spec_for_stored_venue(name, root)
-                    )
-                else:
-                    frontend.register_venue(name, servers[name])
-            rng = rng_for(args.seed, "serve/queries")
-            items = []
-            for index in range(args.queries):
-                name = names[index % len(names)]
-                items.append((name, _synthetic_query(servers[name], rng)))
-            answers = frontend.map_many(items)
-            transfer_rng = rng_for(args.seed, "serve/uplink")
-            for (_, fingerprint), _answer in zip(items, answers):
-                channel.transfer_seconds(fingerprint.upload_bytes, transfer_rng)
-            localized = sum(1 for answer in answers if answer.matched_points > 0)
-            print(
-                f"served {len(answers)} queries over {len(names)} venue(s) on "
-                f"{args.shards} shard(s) (workers={args.workers}, "
-                f"channel={args.channel}): {localized} localized"
-            )
-            for shard_id, venues in sorted(frontend.placement().items()):
-                print(f"  {shard_id}: {', '.join(venues) if venues else '(empty)'}")
-            frontend.close()
-    _write_obs_outputs(args, registry, collector)
+                frontend.register_venue(name, servers[name])
+        rng = rng_for(args.seed, "serve/queries")
+        items = []
+        for index in range(args.queries):
+            name = names[index % len(names)]
+            items.append((name, _synthetic_query(servers[name], rng)))
+        answers = frontend.map_many(items)
+        transfer_rng = rng_for(args.seed, "serve/uplink")
+        for (_, fingerprint), _answer in zip(items, answers):
+            channel.transfer_seconds(fingerprint.upload_bytes, transfer_rng)
+        localized = sum(1 for answer in answers if answer.matched_points > 0)
+        print(
+            f"served {len(answers)} queries over {len(names)} venue(s) on "
+            f"{args.shards} shard(s) (workers={args.workers}, "
+            f"channel={args.channel}): {localized} localized"
+        )
+        for shard_id, venues in sorted(frontend.placement().items()):
+            print(f"  {shard_id}: {', '.join(venues) if venues else '(empty)'}")
+        frontend.close()
+    _write_obs_outputs(args, registry, collector, slo=slo, events=events)
     return 0
 
 
@@ -536,6 +749,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_verify_state(argv[1:])
     if argv and argv[0] == "serve":
         return _run_serve(argv[1:])
+    if argv and argv[0] == "top":
+        return _run_top(argv[1:])
+    if argv and argv[0] == "slo-report":
+        return _run_slo_report(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce a figure from 'Low Bandwidth Offload for Mobile AR'.",
@@ -666,25 +883,26 @@ def main(argv: list[str] | None = None) -> int:
 
     registry = MetricsRegistry()
     collector = _make_collector(args, registry)
+    events = _make_event_log(args, registry)
+    slo = _make_slo_tracker(args, registry)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    with use_registry(registry):
-        with use_collector(collector) if collector else contextlib.nullcontext():
-            for name in names:
-                module = _EXPERIMENTS[name]
-                extra = {"workers": workers} if name in _WORKERS_AWARE else {}
-                if name in _FAULT_AWARE:
-                    extra.update(fault_kwargs)
-                if args.serving is not None and name in _SERVING_AWARE:
-                    extra["serving"] = args.serving
-                print(f"=== {name} " + "=" * max(1, 60 - len(name)))
-                if args.fast and name in _FAST_PARAMS:
-                    result = module.run(**_FAST_PARAMS[name], **extra)
-                    _print_summary(result)
-                else:
-                    module.main(**extra)
-                print()
+    with _obs_scope(registry, collector, events, slo):
+        for name in names:
+            module = _EXPERIMENTS[name]
+            extra = {"workers": workers} if name in _WORKERS_AWARE else {}
+            if name in _FAULT_AWARE:
+                extra.update(fault_kwargs)
+            if args.serving is not None and name in _SERVING_AWARE:
+                extra["serving"] = args.serving
+            print(f"=== {name} " + "=" * max(1, 60 - len(name)))
+            if args.fast and name in _FAST_PARAMS:
+                result = module.run(**_FAST_PARAMS[name], **extra)
+                _print_summary(result)
+            else:
+                module.main(**extra)
+            print()
 
-    _write_obs_outputs(args, registry, collector)
+    _write_obs_outputs(args, registry, collector, slo=slo, events=events)
     return 0
 
 

@@ -17,6 +17,7 @@ deprecation cycle and are gone.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -121,6 +122,10 @@ class VisualPrintClient:
             help="per-fingerprint upload size",
             buckets=DEFAULT_BYTE_BUCKETS,
         )
+        self._m_frame_seconds = self._registry.sketch(
+            "client_frame_seconds",
+            help="whole-frame pipeline wall-clock (quantile sketch)",
+        )
 
     @classmethod
     def from_config(
@@ -221,13 +226,17 @@ class VisualPrintClient:
         :class:`repro.obs.TraceContext` to attach the channel transfer
         and server localize legs to (see DESIGN.md §8).
         """
-        with self.tracer.span("frame", frame_index=frame_index) as span:
-            if self.blur_detector is not None and self.blur_detector.is_blurred(image):
-                self._m_frames_blur.inc()
-                span.set("rejected", "blur")
-                return None
-            keypoints = self.extract_keypoints(image)
-            return self.fingerprint_keypoints(keypoints, frame_index=frame_index)
+        started = time.perf_counter()
+        try:
+            with self.tracer.span("frame", frame_index=frame_index) as span:
+                if self.blur_detector is not None and self.blur_detector.is_blurred(image):
+                    self._m_frames_blur.inc()
+                    span.set("rejected", "blur")
+                    return None
+                keypoints = self.extract_keypoints(image)
+                return self.fingerprint_keypoints(keypoints, frame_index=frame_index)
+        finally:
+            self._m_frame_seconds.observe(time.perf_counter() - started)
 
     # ------------------------------------------------------------------
     # Recovery: retries, degradation, backpressure

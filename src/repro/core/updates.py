@@ -40,7 +40,7 @@ from repro.bloom.counting import CountingBloomFilter
 from repro.core.oracle import UniquenessOracle
 from repro.network.faults import RetryPolicy, SubmissionOutcome, submit_payload
 from repro.network.upload import record_wasted_transfer
-from repro.obs import MetricsRegistry, record_span, resolve_registry
+from repro.obs import MetricsRegistry, emit_event, record_span, resolve_registry
 from repro.store.validate import validate_refresh_payload
 
 __all__ = [
@@ -369,6 +369,12 @@ class OracleRefresher:
                 QuarantinedPayload(kind=kind, payload=payload, error=str(error))
             )
             del self.quarantined[: -self.quarantine_limit]
+            emit_event(
+                "snapshot.quarantine",
+                snapshot=kind,
+                payload_bytes=len(payload),
+                error=str(error),
+            )
             # The downlink delivered these bytes for nothing: account
             # them as wasted transfer alongside the in-flight losses.
             record_wasted_transfer(

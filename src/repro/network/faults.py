@@ -33,7 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.network.channel import UplinkChannel
-from repro.obs import current_registry, record_span
+from repro.obs import current_registry, emit_event, record_span
 from repro.util.rng import rng_for
 from repro.util.validation import check_in_range, check_positive
 
@@ -459,7 +459,16 @@ def submit_payload(
                     help="resubmissions after a failed transfer attempt",
                     channel=channel_name,
                 ).inc()
-            step = min(step + 1, len(ladder) - 1)
+            next_step = min(step + 1, len(ladder) - 1)
+            if next_step != step:
+                emit_event(
+                    "degrade.step",
+                    channel=channel_name,
+                    step=next_step,
+                    payload_bytes=int(ladder[next_step]),
+                    attempt=attempts,
+                )
+            step = next_step
             continue
         latency += seconds
         status = "degraded" if step > 0 else "delivered"
@@ -485,6 +494,13 @@ def submit_payload(
             help="queries that exhausted their retry budget undelivered",
             channel=channel_name,
         ).inc()
+    emit_event(
+        "retry.exhausted",
+        channel=channel_name,
+        attempts=attempts,
+        latency_seconds=round(latency, 6),
+        budget_seconds=policy.budget_seconds,
+    )
     return SubmissionOutcome(
         status="abandoned",
         attempts=attempts,

@@ -32,6 +32,12 @@ from repro.obs.diff import (
     format_report,
     scalar_samples,
 )
+from repro.obs.events import (
+    EventLog,
+    current_event_log,
+    emit_event,
+    use_event_log,
+)
 from repro.obs.export import (
     chrome_trace_events,
     parse_prometheus,
@@ -44,6 +50,7 @@ from repro.obs.flightrecorder import FlightRecorder, format_trace
 from repro.obs.metrics import (
     DEFAULT_BYTE_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_MAX_LABEL_SETS,
     Counter,
     Gauge,
     Histogram,
@@ -52,6 +59,15 @@ from repro.obs.metrics import (
     get_global_registry,
     use_registry,
 )
+from repro.obs.sketch import DEFAULT_QUANTILES, QuantileSketch
+from repro.obs.slo import (
+    SloObjective,
+    SloTracker,
+    current_slo_tracker,
+    default_objectives,
+    use_slo_tracker,
+)
+from repro.obs.top import parse_metric_key, render_dashboard, run_top
 from repro.obs.tracing import (
     QueryTrace,
     Span,
@@ -73,36 +89,51 @@ __all__ = [
     "Counter",
     "DEFAULT_BYTE_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_LABEL_SETS",
+    "DEFAULT_QUANTILES",
+    "EventLog",
     "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricViolation",
     "MetricsRegistry",
+    "QuantileSketch",
     "QueryTrace",
+    "SloObjective",
+    "SloTracker",
     "Span",
     "TraceCollector",
     "TraceContext",
     "Tracer",
     "chrome_trace_events",
     "current_collector",
+    "current_event_log",
     "current_registry",
+    "current_slo_tracker",
     "current_span",
     "current_trace_context",
+    "default_objectives",
     "diff_metrics",
+    "emit_event",
     "format_report",
     "format_trace",
     "get_global_registry",
     "group_traces",
     "isolated_trace_state",
+    "parse_metric_key",
     "parse_prometheus",
     "record_span",
+    "render_dashboard",
     "render_prometheus",
     "resolve_registry",
+    "run_top",
     "scalar_samples",
     "span_records",
     "trace_span",
     "use_collector",
+    "use_event_log",
     "use_registry",
+    "use_slo_tracker",
     "use_trace_context",
     "write_chrome_trace",
     "write_ndjson",

@@ -18,6 +18,7 @@ the default contract; CI baselines should name deterministic counters.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fnmatch import fnmatch
 from typing import Any
@@ -36,8 +37,9 @@ def scalar_samples(snapshot: dict[str, Any]) -> dict[str, float]:
     for section in ("counters", "gauges"):
         for name, entry in snapshot.get(section, {}).items():
             samples[name] = float(entry["value"])
-    for name, entry in snapshot.get("histograms", {}).items():
-        samples[name + ".count"] = float(entry["count"])
+    for section in ("histograms", "sketches"):
+        for name, entry in snapshot.get(section, {}).items():
+            samples[name + ".count"] = float(entry["count"])
     return samples
 
 
@@ -91,12 +93,26 @@ def diff_metrics(
                     name=name, baseline=base_value, current=None, allowed=allowed
                 )
             )
-        elif abs(cur[name] - base_value) > allowed:
+            continue
+        # NaN never satisfies a comparison, so the naive `delta > allowed`
+        # test would wave a NaN current value through; exact equality
+        # keeps matching infinities (and NaN baselines matched by NaN
+        # currents) passing, everything else falls through to the delta
+        # check, where a NaN delta is always a violation.
+        current_value = cur[name]
+        if current_value == base_value or (
+            math.isnan(base_value) and math.isnan(current_value)
+        ):
+            continue
+        # A non-finite baseline poisons `allowed` (inf tolerance accepts
+        # anything), so past the exact-match check above it only fails.
+        delta = abs(current_value - base_value)
+        if math.isnan(delta) or delta > allowed or not math.isfinite(base_value):
             violations.append(
                 MetricViolation(
                     name=name,
                     baseline=base_value,
-                    current=cur[name],
+                    current=current_value,
                     allowed=allowed,
                 )
             )

@@ -1,0 +1,191 @@
+"""Structured event log: the discrete incidents metrics can only count.
+
+Counters say *how many* queries were shed; they cannot say which venue,
+on which shard, inside which query's trace.  :class:`EventLog` records
+those discrete incidents — admission rejects, degradation-ladder
+entries, retry exhaustion, snapshot quarantine, shard topology changes,
+SLO burn alerts — as structured records that serialize to NDJSON (one
+JSON object per line, the same framing :func:`repro.obs.write_ndjson`
+uses for spans).
+
+Every record carries:
+
+* ``seq`` — a per-log sequence number (total order within one log);
+* ``ts`` — epoch seconds at emission (wall-clock; simulated-time fields
+  travel in the event's own payload when relevant);
+* ``kind`` — a dotted event name (``admission.reject``,
+  ``degrade.step``, ``retry.exhausted``, ``snapshot.quarantine``,
+  ``shard.add``, ``shard.remove``, ``slo.burn_alert``);
+* ``trace_id`` / ``span_id`` — lifted from the ambient tracing state
+  (the open span, else the installed :class:`repro.obs.TraceContext`),
+  so an event joins the same per-query story the span tree tells;
+* the emitter's keyword fields verbatim.
+
+Propagation mirrors the registry/collector pattern: install a log with
+:func:`use_event_log`, emit from anywhere with :func:`emit_event` (a
+no-op without an installed log — zero overhead on unobserved runs), and
+ship worker logs back through :mod:`repro.parallel` with the
+``state()`` / ``merge_state()`` protocol (chunk-ordered, so a
+``workers=N`` run replays the same event sequence as serial).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import current_span, current_trace_context
+
+__all__ = [
+    "EventLog",
+    "current_event_log",
+    "emit_event",
+    "use_event_log",
+]
+
+_DEFAULT_CAPACITY = 10_000
+
+
+class EventLog:
+    """Bounded in-memory event sink with NDJSON export.
+
+    Oldest records are dropped past ``capacity`` (never silently: the
+    drop count is retained and mirrored into
+    ``obs_events_dropped_total`` when a registry is attached).
+    """
+
+    def __init__(
+        self,
+        capacity: int = _DEFAULT_CAPACITY,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.registry = registry
+        self.records: list[dict[str, Any]] = []
+        self.dropped = 0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Append one event; returns the stored record."""
+        record: dict[str, Any] = {
+            "seq": self._seq,
+            "ts": time.time(),
+            "kind": str(kind),
+        }
+        self._seq += 1
+        span = current_span()
+        if span is not None:
+            record["trace_id"] = span.trace_id
+            record["span_id"] = span.span_id
+        else:
+            context = current_trace_context()
+            if context is not None:
+                record["trace_id"] = context.trace_id
+                record["span_id"] = context.span_id
+        for key, value in fields.items():
+            if key not in record:
+                record[key] = value
+        self.records.append(record)
+        if self.registry is not None:
+            self.registry.counter(
+                "obs_events_total",
+                help="structured events emitted, by kind",
+                kind=record["kind"],
+            ).inc()
+        if len(self.records) > self.capacity:
+            overflow = len(self.records) - self.capacity
+            del self.records[:overflow]
+            self.dropped += overflow
+            if self.registry is not None:
+                self.registry.counter(
+                    "obs_events_dropped_total",
+                    help="events trimmed from a bounded EventLog",
+                ).inc(overflow)
+        return record
+
+    def tail(self, count: int = 10) -> list[dict[str, Any]]:
+        """The most recent ``count`` records, oldest first."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return self.records[-count:] if count else []
+
+    def by_kind(self, kind: str) -> list[dict[str, Any]]:
+        return [record for record in self.records if record["kind"] == kind]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # -- export ---------------------------------------------------------
+
+    def to_ndjson(self) -> str:
+        return "".join(
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+            for record in self.records
+        )
+
+    def write_ndjson(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_ndjson())
+
+    # -- cross-process merge (repro.parallel ship-back) -----------------
+
+    def state(self) -> dict[str, Any]:
+        """Picklable snapshot for :meth:`merge_state`."""
+        return {"records": list(self.records), "dropped": self.dropped}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a worker log in: records append in the caller's order.
+
+        Callers merge chunk states in chunk order (the
+        :mod:`repro.parallel` discipline), so the merged sequence is
+        deterministic regardless of worker completion order.  Sequence
+        numbers are reassigned to keep the merged log totally ordered.
+        """
+        self.dropped += int(state.get("dropped", 0))
+        for record in state.get("records", ()):
+            merged = dict(record)
+            merged["seq"] = self._seq
+            self._seq += 1
+            self.records.append(merged)
+        if len(self.records) > self.capacity:
+            overflow = len(self.records) - self.capacity
+            del self.records[:overflow]
+            self.dropped += overflow
+
+
+# ----------------------------------------------------------------------
+# Contextual propagation (mirrors use_registry / use_collector)
+# ----------------------------------------------------------------------
+
+_LOG_STACK: list[EventLog] = []
+
+
+def current_event_log() -> EventLog | None:
+    """The innermost :func:`use_event_log` log, or ``None``."""
+    return _LOG_STACK[-1] if _LOG_STACK else None
+
+
+@contextmanager
+def use_event_log(log: EventLog) -> Iterator[EventLog]:
+    """Deliver :func:`emit_event` calls inside the block to ``log``."""
+    _LOG_STACK.append(log)
+    try:
+        yield log
+    finally:
+        _LOG_STACK.pop()
+
+
+def emit_event(kind: str, **fields: Any) -> dict[str, Any] | None:
+    """Emit into the contextual log; ``None`` (and no work) without one."""
+    log = current_event_log()
+    if log is None:
+        return None
+    return log.emit(kind, **fields)

@@ -35,13 +35,17 @@ from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.sketch import QuantileSketch
+
 __all__ = [
     "Counter",
     "DEFAULT_BYTE_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_LABEL_SETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QuantileSketch",
     "current_registry",
     "get_global_registry",
     "use_registry",
@@ -62,6 +66,14 @@ DEFAULT_BYTE_BUCKETS: tuple[float, ...] = (
 )
 
 _RESERVOIR_SIZE = 1024
+
+#: Per-instrument-name cap on distinct label sets.  At fleet scale a
+#: per-venue label can mint unbounded instruments; past the cap new
+#: label sets collapse into one ``{overflow="true"}`` instrument so
+#: memory stays bounded and the loss is visible as a counter.
+DEFAULT_MAX_LABEL_SETS = 1000
+
+_OVERFLOW_LABELS = {"overflow": "true"}
 
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
@@ -397,9 +409,17 @@ class MetricsRegistry:
     the uninstrumented baseline the overhead benchmark compares against.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+    ) -> None:
+        if max_label_sets < 1:
+            raise ValueError(f"max_label_sets must be >= 1, got {max_label_sets}")
         self.enabled = enabled
+        self.max_label_sets = int(max_label_sets)
         self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
+        self._label_set_counts: dict[str, int] = {}
         self._lock = threading.Lock()
 
     def __getstate__(self) -> dict[str, Any]:
@@ -426,8 +446,43 @@ class MetricsRegistry:
             with self._lock:
                 instrument = self._instruments.get(key)
                 if instrument is None:
-                    instrument = cls(name, help=help, labels=labels, **kwargs)
-                    self._instruments[key] = instrument
+                    # Cardinality guard: a new label set past the per-name
+                    # cap collapses into the shared overflow instrument
+                    # (itself exempt, or the recursion would never end).
+                    if (
+                        labels != _OVERFLOW_LABELS
+                        and self._label_set_counts.get(name, 0)
+                        >= self.max_label_sets
+                    ):
+                        # Created inline (not via self.counter): the lock
+                        # is held and not reentrant.
+                        dropped_key = (
+                            "metrics_label_sets_dropped_total",
+                            _label_key({"metric": name}),
+                        )
+                        dropped = self._instruments.get(dropped_key)
+                        if dropped is None:
+                            dropped = Counter(
+                                "metrics_label_sets_dropped_total",
+                                help="new label sets collapsed into the "
+                                "overflow instrument by the cardinality cap",
+                                labels={"metric": name},
+                            )
+                            self._instruments[dropped_key] = dropped
+                            self._label_set_counts[dropped.name] = (
+                                self._label_set_counts.get(dropped.name, 0) + 1
+                            )
+                        dropped.inc()
+                    else:
+                        instrument = cls(name, help=help, labels=labels, **kwargs)
+                        self._instruments[key] = instrument
+                        self._label_set_counts[name] = (
+                            self._label_set_counts.get(name, 0) + 1
+                        )
+        if instrument is None:  # capped: reroute to the overflow label set
+            return self._get_or_create(
+                cls, name, help, dict(_OVERFLOW_LABELS), **kwargs
+            )
         if not isinstance(instrument, cls):
             raise ValueError(
                 f"metric {name!r} already registered as {instrument.kind}, "
@@ -449,6 +504,19 @@ class MetricsRegistry:
         **labels: str,
     ) -> Histogram:
         return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def sketch(
+        self,
+        name: str,
+        help: str = "",
+        relative_accuracy: float = 0.01,
+        **labels: str,
+    ) -> QuantileSketch:
+        """A mergeable streaming quantile sketch (see :mod:`repro.obs.sketch`)."""
+        return self._get_or_create(
+            QuantileSketch, name, help, labels,
+            relative_accuracy=relative_accuracy,
+        )
 
     # -- introspection / export ----------------------------------------
 
@@ -519,6 +587,15 @@ class MetricsRegistry:
                     buckets=tuple(entry["state"]["buckets"]),
                     **labels,
                 )
+            elif kind == "sketch":
+                instrument = self.sketch(
+                    entry["name"],
+                    help=entry["help"],
+                    relative_accuracy=float(
+                        entry["state"]["relative_accuracy"]
+                    ),
+                    **labels,
+                )
             else:  # null instruments carry no state
                 continue
             instrument.merge_state(entry["state"])
@@ -547,12 +624,28 @@ class MetricsRegistry:
                     )
                 out.append((f"{instrument.name}_sum", base, instrument.sum))
                 out.append((f"{instrument.name}_count", base, float(instrument.count)))
+            elif instrument.kind == "sketch":
+                # Rendered like a Prometheus summary: one sample per
+                # precomputed quantile plus the _sum/_count pair.
+                for q, value in instrument.quantiles().items():
+                    out.append(
+                        (instrument.name, base + (("quantile", repr(q)),), value)
+                    )
+                out.append((f"{instrument.name}_sum", base, instrument.sum))
+                out.append((f"{instrument.name}_count", base, float(instrument.count)))
         return out
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready snapshot grouped by instrument kind."""
-        snapshot: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
-        group = {"counter": "counters", "gauge": "gauges", "histogram": "histograms"}
+        snapshot: dict[str, Any] = {
+            "counters": {}, "gauges": {}, "histograms": {}, "sketches": {},
+        }
+        group = {
+            "counter": "counters",
+            "gauge": "gauges",
+            "histogram": "histograms",
+            "sketch": "sketches",
+        }
         for instrument in self.instruments():
             entry = instrument.to_dict()
             if instrument.labels:

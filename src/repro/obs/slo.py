@@ -1,0 +1,388 @@
+"""SLO engine: sliding windows, error budgets, multi-window burn alerts.
+
+The paper's promise is a latency SLO in disguise — "sub-second
+localization over constrained uplinks" — and a serving fleet needs that
+promise as arithmetic, not prose.  This module turns a stream of
+per-query outcomes into:
+
+* **error budgets** — an :class:`SloObjective` names a target good
+  fraction (e.g. 99.9% of queries answered, 99% under a latency
+  threshold); the *budget* is the tolerated bad fraction
+  (``1 - target``), measured over a sliding window;
+* **burn rates** — how fast the budget is being spent: a burn rate of
+  1.0 spends exactly the budget over the window, 14.4 exhausts a
+  30-day budget in 2 days (the classic SRE fast-page threshold);
+* **multi-window alerts** — an alert fires only when *both* the fast
+  window (recent spike) and the slow window (sustained) exceed their
+  burn thresholds, which suppresses both one-off blips (fast trips,
+  slow doesn't) and long-recovered incidents (slow still polluted,
+  fast clean).  Alerts are edge-triggered: one
+  ``slo_burn_alerts_total`` increment (and one ``slo.burn_alert``
+  event) per excursion, not per query.
+
+:class:`SloTracker` keys window state by (objective, scope) where scope
+is free-form labels — ``venue=...``, ``shard=...`` — so one tracker
+watches per-venue and per-shard objectives side by side.  Every
+evaluation publishes ``slo_budget_remaining`` / ``slo_burn_rate``
+gauges into the registry, so a metrics snapshot *is* the SLO dashboard
+(``repro top`` and ``repro slo-report`` just render it).
+
+Time is injectable: ``record(..., now=...)`` takes the caller's clock
+(simulated seconds in the load harness, ``time.monotonic()`` by
+default in the live frontend), so the engine works identically for
+wall-clock serving and discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.obs.events import emit_event
+from repro.obs.metrics import MetricsRegistry
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = [
+    "SloObjective",
+    "SloTracker",
+    "current_slo_tracker",
+    "default_objectives",
+    "use_slo_tracker",
+]
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One service-level objective and its alerting policy.
+
+    ``threshold_seconds`` set makes this a *latency* objective (an event
+    is good when it succeeded **and** finished within the threshold);
+    unset makes it an *availability* objective (good = succeeded).
+
+    The default burn thresholds are the SRE-book pairing for a paging
+    alert — 14.4x over the fast window, 6x sustained over the slow
+    window — scaled to whatever window lengths the caller picks.
+    ``min_events`` keeps a nearly-empty window from alerting off its
+    first failure.
+    """
+
+    name: str
+    target: float
+    threshold_seconds: float | None = None
+    window_seconds: float = 3600.0
+    fast_window_seconds: float = 300.0
+    fast_burn_threshold: float = 14.4
+    slow_burn_threshold: float = 6.0
+    min_events: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("objective name must be non-empty")
+        check_in_range("target", self.target, 0.0, 1.0)
+        if self.target >= 1.0:
+            raise ValueError(
+                f"target must leave a non-zero error budget, got {self.target}"
+            )
+        if self.threshold_seconds is not None:
+            check_positive("threshold_seconds", self.threshold_seconds)
+        check_positive("window_seconds", self.window_seconds)
+        check_positive("fast_window_seconds", self.fast_window_seconds)
+        if self.fast_window_seconds > self.window_seconds:
+            raise ValueError(
+                "fast_window_seconds must not exceed window_seconds "
+                f"({self.fast_window_seconds} > {self.window_seconds})"
+            )
+        check_positive("fast_burn_threshold", self.fast_burn_threshold)
+        check_positive("slow_burn_threshold", self.slow_burn_threshold)
+        check_positive("min_events", self.min_events)
+
+    @property
+    def budget(self) -> float:
+        """The tolerated bad fraction (the error budget)."""
+        return 1.0 - self.target
+
+    def is_good(self, ok: bool, latency_seconds: float | None) -> bool:
+        """Classify one event under this objective."""
+        if not ok:
+            return False
+        if self.threshold_seconds is None:
+            return True
+        if latency_seconds is None:
+            return True  # availability-only callers don't fail latency SLOs
+        return latency_seconds <= self.threshold_seconds
+
+
+def default_objectives(
+    latency_threshold_seconds: float = 1.0,
+    window_seconds: float = 3600.0,
+    fast_window_seconds: float = 300.0,
+) -> tuple[SloObjective, ...]:
+    """The stock objective pair: paper-latency and availability.
+
+    ``latency`` holds 99% of queries under the paper's sub-second bar;
+    ``availability`` holds 99.9% of admissions to a served answer.
+    """
+    return (
+        SloObjective(
+            name="latency",
+            target=0.99,
+            threshold_seconds=latency_threshold_seconds,
+            window_seconds=window_seconds,
+            fast_window_seconds=fast_window_seconds,
+        ),
+        SloObjective(
+            name="availability",
+            target=0.999,
+            window_seconds=window_seconds,
+            fast_window_seconds=fast_window_seconds,
+        ),
+    )
+
+
+class _ScopeWindow:
+    """Sliding event window for one (objective, scope) pair."""
+
+    __slots__ = ("events", "bad", "alerting", "alerts", "total_events", "total_bad")
+
+    def __init__(self) -> None:
+        # (now_seconds, bad: bool), oldest first; evicted past the slow window.
+        self.events: deque[tuple[float, bool]] = deque()
+        self.bad = 0  # bad count within the slow window
+        self.alerting = False
+        self.alerts = 0
+        self.total_events = 0  # lifetime, never evicted
+        self.total_bad = 0
+
+    def add(self, now: float, bad: bool, window_seconds: float) -> None:
+        self.events.append((now, bad))
+        self.bad += bad
+        self.total_events += 1
+        self.total_bad += bad
+        horizon = now - window_seconds
+        while self.events and self.events[0][0] <= horizon:
+            _, was_bad = self.events.popleft()
+            self.bad -= was_bad
+
+    def fast_counts(self, now: float, fast_window_seconds: float) -> tuple[int, int]:
+        """(events, bad) within the trailing fast window."""
+        horizon = now - fast_window_seconds
+        events = bad = 0
+        for when, was_bad in reversed(self.events):
+            if when <= horizon:
+                break
+            events += 1
+            bad += was_bad
+        return events, bad
+
+
+def _scope_key(scope: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(scope.items()))
+
+
+class SloTracker:
+    """Evaluates a set of objectives over a stream of scoped outcomes.
+
+    >>> tracker = SloTracker(default_objectives())
+    >>> tracker.record(latency_seconds=0.2, ok=True, now=1.0, venue="office")
+    """
+
+    def __init__(
+        self,
+        objectives: tuple[SloObjective, ...] | list[SloObjective] = (),
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.objectives: list[SloObjective] = []
+        self.registry = registry
+        self._windows: dict[
+            tuple[str, tuple[tuple[str, str], ...]], _ScopeWindow
+        ] = {}
+        names = set()
+        for objective in objectives:
+            if objective.name in names:
+                raise ValueError(f"duplicate objective name {objective.name!r}")
+            names.add(objective.name)
+            self.objectives.append(objective)
+
+    def add_objective(self, objective: SloObjective) -> None:
+        if any(existing.name == objective.name for existing in self.objectives):
+            raise ValueError(f"duplicate objective name {objective.name!r}")
+        self.objectives.append(objective)
+
+    @property
+    def alerts_fired(self) -> int:
+        return sum(window.alerts for window in self._windows.values())
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        latency_seconds: float | None = None,
+        ok: bool = True,
+        now: float | None = None,
+        **scope: str,
+    ) -> None:
+        """Feed one outcome to every objective under ``scope`` labels."""
+        if now is None:
+            now = time.monotonic()
+        key = _scope_key({k: str(v) for k, v in scope.items()})
+        for objective in self.objectives:
+            bad = not objective.is_good(ok, latency_seconds)
+            window = self._windows.get((objective.name, key))
+            if window is None:
+                window = self._windows[(objective.name, key)] = _ScopeWindow()
+            window.add(float(now), bad, objective.window_seconds)
+            self._evaluate(objective, key, window, float(now))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _gauge(self, name: str, help: str, labels: dict[str, str], value: float) -> None:
+        if self.registry is not None:
+            self.registry.gauge(name, help=help, **labels).set(value)
+
+    def _evaluate(
+        self,
+        objective: SloObjective,
+        key: tuple[tuple[str, str], ...],
+        window: _ScopeWindow,
+        now: float,
+    ) -> None:
+        labels = {"objective": objective.name, **dict(key)}
+        slow_events = len(window.events)
+        slow_rate = window.bad / slow_events if slow_events else 0.0
+        fast_events, fast_bad = window.fast_counts(
+            now, objective.fast_window_seconds
+        )
+        fast_rate = fast_bad / fast_events if fast_events else 0.0
+        budget = objective.budget
+        burn_slow = slow_rate / budget
+        burn_fast = fast_rate / budget
+        remaining = 1.0 - burn_slow
+        self._gauge(
+            "slo_budget_remaining",
+            "fraction of the sliding-window error budget left (1 = untouched)",
+            labels,
+            remaining,
+        )
+        self._gauge(
+            "slo_burn_rate",
+            "error-budget burn rate (1.0 spends the budget over the window)",
+            {**labels, "window": "slow"},
+            burn_slow,
+        )
+        self._gauge(
+            "slo_burn_rate",
+            "error-budget burn rate (1.0 spends the budget over the window)",
+            {**labels, "window": "fast"},
+            burn_fast,
+        )
+        alerting = (
+            fast_events >= objective.min_events
+            and burn_fast >= objective.fast_burn_threshold
+            and burn_slow >= objective.slow_burn_threshold
+        )
+        if alerting and not window.alerting:
+            window.alerts += 1
+            if self.registry is not None:
+                self.registry.counter(
+                    "slo_burn_alerts_total",
+                    help="multi-window burn-rate alert excursions",
+                    **labels,
+                ).inc()
+            emit_event(
+                "slo.burn_alert",
+                objective=objective.name,
+                burn_fast=round(burn_fast, 4),
+                burn_slow=round(burn_slow, 4),
+                budget_remaining=round(remaining, 4),
+                **dict(key),
+            )
+        window.alerting = alerting
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict[str, Any]:
+        """JSON-ready budget/burn summary (the ``slo_report.json`` schema)."""
+        objectives_out = []
+        for objective in self.objectives:
+            scopes = []
+            for (name, key), window in sorted(self._windows.items()):
+                if name != objective.name:
+                    continue
+                slow_events = len(window.events)
+                slow_rate = window.bad / slow_events if slow_events else 0.0
+                burn_slow = slow_rate / objective.budget
+                scopes.append(
+                    {
+                        "scope": dict(key),
+                        "window_events": slow_events,
+                        "window_bad": window.bad,
+                        "total_events": window.total_events,
+                        "total_bad": window.total_bad,
+                        "error_rate": slow_rate,
+                        "burn_rate": burn_slow,
+                        "budget_remaining": 1.0 - burn_slow,
+                        "alerting": window.alerting,
+                        "alerts_fired": window.alerts,
+                    }
+                )
+            objectives_out.append(
+                {
+                    "name": objective.name,
+                    "kind": (
+                        "latency"
+                        if objective.threshold_seconds is not None
+                        else "availability"
+                    ),
+                    "target": objective.target,
+                    "threshold_seconds": objective.threshold_seconds,
+                    "window_seconds": objective.window_seconds,
+                    "fast_window_seconds": objective.fast_window_seconds,
+                    "scopes": scopes,
+                }
+            )
+        return {
+            "objectives": objectives_out,
+            "alerts_fired": self.alerts_fired,
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.report(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Contextual propagation (mirrors use_registry / use_event_log)
+# ----------------------------------------------------------------------
+
+_TRACKER_STACK: list[SloTracker] = []
+
+
+def current_slo_tracker() -> SloTracker | None:
+    """The innermost :func:`use_slo_tracker` tracker, or ``None``."""
+    return _TRACKER_STACK[-1] if _TRACKER_STACK else None
+
+
+@contextmanager
+def use_slo_tracker(tracker: SloTracker) -> Iterator[SloTracker]:
+    """Make ``tracker`` the contextual SLO sink inside the block.
+
+    Components that serve queries (the :class:`repro.serving`
+    frontend) resolve their tracker at construction: explicit argument
+    first, then this contextual tracker, else none.
+    """
+    _TRACKER_STACK.append(tracker)
+    try:
+        yield tracker
+    finally:
+        _TRACKER_STACK.pop()

@@ -32,7 +32,10 @@ codebase relies on:
   collector whose finished root spans — labeled with the producing
   ``worker`` pid and ``shard`` (chunk) index — are shipped back and
   merged in chunk order, so a ``workers=N`` run retains the same set
-  of root spans as ``workers=1``.
+  of root spans as ``workers=1``.  Structured events follow suit: with
+  a contextual :class:`repro.obs.EventLog` installed (see
+  :func:`repro.obs.use_event_log`), each chunk emits into a fresh log
+  whose records ship back and merge in chunk order.
 
 Worker functions must be module-level (picklable); heavyweight
 read-only context travels once per worker through ``shared`` and is
@@ -50,12 +53,15 @@ from typing import Any, Callable, Iterable, Sequence
 from contextlib import ExitStack
 
 from repro.obs import (
+    EventLog,
     MetricsRegistry,
     TraceCollector,
     current_collector,
+    current_event_log,
     isolated_trace_state,
     resolve_registry,
     use_collector,
+    use_event_log,
     use_registry,
 )
 from repro.util.rng import derive_seed
@@ -109,17 +115,27 @@ def _run_chunk(
     chunk_setup: Callable[[], Any] | None,
     chunk_index: int = 0,
     collect_traces: bool = False,
-) -> tuple[list[Any], dict[str, Any], list[dict[str, Any]] | None]:
+    collect_events: bool = False,
+) -> tuple[
+    list[Any],
+    dict[str, Any],
+    list[dict[str, Any]] | None,
+    dict[str, Any] | None,
+]:
     """Run one chunk under fresh contextual registry/collector; return states.
 
     ``collect_traces`` is set when the *caller* had a collector
     installed: the chunk then gathers its finished root spans, labels
     them with this worker's pid and the chunk index, and returns them
     as picklable state for the parent to merge — otherwise span
-    shipping is skipped entirely.
+    shipping is skipped entirely.  ``collect_events`` does the same for
+    the caller's contextual :class:`repro.obs.EventLog`: the chunk runs
+    under a fresh log whose records (stamped with this worker's pid and
+    the chunk index) ship back for chunk-ordered merging.
     """
     registry = MetricsRegistry()
     collector = TraceCollector(registry=registry) if collect_traces else None
+    event_log = EventLog(registry=registry) if collect_events else None
     with ExitStack() as stack:
         # Forked workers inherit the parent's propagation stacks (and the
         # in-process fallback runs on them directly); clear both cases so
@@ -128,6 +144,8 @@ def _run_chunk(
         stack.enter_context(use_registry(registry))
         if collector is not None:
             stack.enter_context(use_collector(collector))
+        if event_log is not None:
+            stack.enter_context(use_event_log(event_log))
         if chunk_setup is None:
             results = [fn(item) for item in chunk]
         else:
@@ -139,7 +157,13 @@ def _run_chunk(
             root.attributes.setdefault("worker", os.getpid())
             root.attributes.setdefault("shard", chunk_index)
         trace_state = collector.state()
-    return results, registry.state(), trace_state
+    event_state: dict[str, Any] | None = None
+    if event_log is not None:
+        for record in event_log.records:
+            record.setdefault("worker", os.getpid())
+            record.setdefault("shard", chunk_index)
+        event_state = event_log.state()
+    return results, registry.state(), trace_state, event_state
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -183,6 +207,7 @@ def parallel_map(
     items = list(items)
     target = resolve_registry(registry)
     collector = current_collector()
+    event_log = current_event_log()
     if not items:
         return []
     workers = max(1, min(int(workers), len(items)))
@@ -196,12 +221,15 @@ def parallel_map(
     chunks = [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
 
     collect_traces = collector is not None
+    collect_events = event_log is not None
     if workers == 1:
         previous = _SHARED
         _set_shared(shared)
         try:
             outcomes = [
-                _run_chunk(fn, chunk, chunk_setup, index, collect_traces)
+                _run_chunk(
+                    fn, chunk, chunk_setup, index, collect_traces, collect_events
+                )
                 for index, chunk in enumerate(chunks)
             ]
         finally:
@@ -214,16 +242,26 @@ def parallel_map(
             initargs=(shared,),
         ) as pool:
             futures = [
-                pool.submit(_run_chunk, fn, chunk, chunk_setup, index, collect_traces)
+                pool.submit(
+                    _run_chunk,
+                    fn,
+                    chunk,
+                    chunk_setup,
+                    index,
+                    collect_traces,
+                    collect_events,
+                )
                 for index, chunk in enumerate(chunks)
             ]
             # Collect in submission order regardless of completion order.
             outcomes = [future.result() for future in futures]
 
     results: list[Any] = []
-    for chunk_results, chunk_state, chunk_traces in outcomes:
+    for chunk_results, chunk_state, chunk_traces, chunk_events in outcomes:
         results.extend(chunk_results)
         target.merge_state(chunk_state)
         if collector is not None and chunk_traces:
             collector.merge_state(chunk_traces)
+        if event_log is not None and chunk_events:
+            event_log.merge_state(chunk_events)
     return results

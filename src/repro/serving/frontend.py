@@ -11,8 +11,15 @@ the load-shedding mode); the shard worker executes the venue engine.
 Observability: per-shard saturation gauges
 (``serving_shard_queue_depth`` / ``serving_shard_saturation``),
 admitted/rejected/served/failed counters, queue-wait and service-time
-histograms — all labeled by shard, all in the frontend's
-:class:`repro.obs.MetricsRegistry`.
+histograms, and a per-shard admission-to-completion
+``serving_e2e_seconds`` quantile sketch (mergeable p50/p99/p999 — see
+:mod:`repro.obs.sketch`) — all labeled by shard, all in the frontend's
+:class:`repro.obs.MetricsRegistry`.  Admission rejects and topology
+changes additionally land in the contextual
+:class:`repro.obs.EventLog`, and every query outcome feeds the
+resolved :class:`repro.obs.SloTracker` (explicit argument, else the
+:func:`repro.obs.use_slo_tracker` context) under per-venue and
+per-shard scopes.
 
 Parity: with one shard and inline workers (the defaults), queries
 execute synchronously in admission order in the calling process, so
@@ -26,7 +33,8 @@ import asyncio
 import time
 from typing import Any, Iterable
 
-from repro.obs import MetricsRegistry, resolve_registry
+from repro.obs import MetricsRegistry, emit_event, resolve_registry
+from repro.obs.slo import SloTracker, current_slo_tracker
 from repro.serving.registry import VenueRegistry
 from repro.serving.shards import InlineShardWorker, ProcessShardWorker
 
@@ -89,11 +97,20 @@ class _ShardState:
             help="engine execution wall-clock per query",
             shard=shard_id,
         )
+        self.m_e2e = registry.sketch(
+            "serving_e2e_seconds",
+            help="admission-to-completion wall-clock per query (sketch)",
+            shard=shard_id,
+        )
 
     def set_depth(self, depth: int, queue_depth: int) -> None:
+        # Clamp: a release racing a reject-path decrement must never
+        # drive the published depth negative or saturation out of [0, 1].
+        depth = max(0, int(depth))
         self.depth = depth
         self.m_depth.set(float(depth))
-        self.m_saturation.set(depth / queue_depth if queue_depth else 0.0)
+        saturation = depth / queue_depth if queue_depth else 0.0
+        self.m_saturation.set(min(max(saturation, 0.0), 1.0))
 
 
 class ServingFrontend:
@@ -108,6 +125,7 @@ class ServingFrontend:
         replicas: int = 64,
         seed: int = 0,
         registry: MetricsRegistry | None = None,
+        slo: SloTracker | None = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -119,6 +137,7 @@ class ServingFrontend:
         self.admission = admission
         self.process_mode = int(workers) > 1
         self._registry = resolve_registry(registry)
+        self.slo = slo if slo is not None else current_slo_tracker()
         self.venues = VenueRegistry(num_shards, replicas=replicas, seed=seed)
         self._shards: dict[str, _ShardState] = {}
         for shard_id in self.venues.shard_ids:
@@ -195,7 +214,9 @@ class ServingFrontend:
         self.venues.ring.add_shard(shard_id)
         self._add_shard_state(shard_id)
         self._m_shards.set(float(len(self._shards)))
-        return self._rebalance(before)
+        moved = self._rebalance(before)
+        emit_event("shard.add", shard=shard_id, moved=moved)
+        return moved
 
     def remove_shard(self, shard_id: str) -> list[str]:
         """Drain a shard off the ring; its venues fall to ring successors."""
@@ -207,6 +228,7 @@ class ServingFrontend:
         moved = self._rebalance(before, closing=state)
         state.worker.close(self._registry)
         self._m_shards.set(float(len(self._shards)))
+        emit_event("shard.remove", shard=shard_id, moved=moved)
         return moved
 
     def _rebalance(self, before: dict[str, list[str]], closing=None) -> list[str]:
@@ -269,6 +291,14 @@ class ServingFrontend:
         state = self._shards[shard_id]
         if self.admission == "reject" and state.depth >= self.queue_depth:
             state.m_rejected.inc()
+            emit_event(
+                "admission.reject",
+                shard=shard_id,
+                venue=venue,
+                depth=state.depth,
+                queue_depth=self.queue_depth,
+            )
+            self._record_slo(shard_id, venue, None, ok=False)
             raise ShardSaturatedError(shard_id, venue, self.queue_depth)
         waited = time.perf_counter()
         semaphore = self._semaphore(shard_id)
@@ -286,14 +316,29 @@ class ServingFrontend:
                 result = state.worker.serve(venue, payload)
         except BaseException:
             state.m_failed.inc()
+            self._record_slo(
+                shard_id, venue, time.perf_counter() - waited, ok=False
+            )
             raise
         else:
             state.m_served.inc()
             state.m_service.observe(time.perf_counter() - started)
+            e2e = time.perf_counter() - waited
+            state.m_e2e.observe(e2e)
+            self._record_slo(shard_id, venue, e2e, ok=True)
             return result
         finally:
             state.set_depth(state.depth - 1, self.queue_depth)
             semaphore.release()
+
+    def _record_slo(
+        self, shard_id: str, venue: str, latency: float | None, ok: bool
+    ) -> None:
+        """Feed one query outcome to the SLO tracker, per-shard and per-venue."""
+        if self.slo is None:
+            return
+        self.slo.record(latency_seconds=latency, ok=ok, shard=shard_id)
+        self.slo.record(latency_seconds=latency, ok=ok, venue=venue)
 
     def call(self, venue: str, payload: Any) -> Any:
         """Synchronous single query (runs a private event loop)."""

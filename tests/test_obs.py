@@ -476,3 +476,140 @@ class TestCliMetrics:
         by_name = {name for name, _, _ in parsed}
         assert "client_sift_seconds_bucket" in by_name
         assert "client_upload_bytes_total" in by_name
+
+class TestMetricsDiffEdgeCases:
+    """The diff gate's corner cases: missing scalars, zero baselines,
+    non-finite values (satellite coverage for repro.obs.diff)."""
+
+    def _snap(self, **counters):
+        return {
+            "counters": {
+                name: {"value": value} for name, value in counters.items()
+            }
+        }
+
+    def test_baseline_metric_missing_in_current_is_violation(self):
+        from repro.obs import diff_metrics
+
+        checked, violations = diff_metrics(
+            self._snap(frames_total=5.0), self._snap()
+        )
+        assert checked == 1
+        assert len(violations) == 1
+        assert violations[0].current is None
+        assert "missing" in violations[0].describe()
+
+    def test_current_only_metric_is_ignored(self):
+        from repro.obs import diff_metrics
+
+        checked, violations = diff_metrics(
+            self._snap(), self._snap(new_counter=7.0)
+        )
+        assert checked == 0 and violations == []
+
+    def test_zero_baseline_relative_tolerance(self):
+        from repro.obs import diff_metrics
+
+        # rel_tol scales with |baseline| = 0, so any drift from a zero
+        # baseline needs abs_tol to pass.
+        _, violations = diff_metrics(
+            self._snap(errors_total=0.0), self._snap(errors_total=1.0)
+        )
+        assert len(violations) == 1
+        _, violations = diff_metrics(
+            self._snap(errors_total=0.0),
+            self._snap(errors_total=1.0),
+            abs_tol=1.0,
+        )
+        assert violations == []
+        # An exactly-zero current matches a zero baseline at any tolerance.
+        _, violations = diff_metrics(
+            self._snap(errors_total=0.0), self._snap(errors_total=0.0)
+        )
+        assert violations == []
+
+    def test_nan_current_is_violation(self):
+        from repro.obs import diff_metrics
+
+        _, violations = diff_metrics(
+            self._snap(ratio=1.0), self._snap(ratio=float("nan"))
+        )
+        assert len(violations) == 1
+
+    def test_nan_baseline_matched_by_nan_current(self):
+        from repro.obs import diff_metrics
+
+        _, violations = diff_metrics(
+            self._snap(ratio=float("nan")), self._snap(ratio=float("nan"))
+        )
+        assert violations == []
+        _, violations = diff_metrics(
+            self._snap(ratio=float("nan")), self._snap(ratio=1.0)
+        )
+        assert len(violations) == 1
+
+    def test_matching_infinities_pass_diverging_fail(self):
+        from repro.obs import diff_metrics
+
+        inf = float("inf")
+        _, violations = diff_metrics(
+            self._snap(peak=inf), self._snap(peak=inf)
+        )
+        assert violations == []
+        _, violations = diff_metrics(
+            self._snap(peak=inf), self._snap(peak=1.0)
+        )
+        assert len(violations) == 1  # inf - 1 = inf > any allowed
+        _, violations = diff_metrics(
+            self._snap(peak=1.0), self._snap(peak=inf)
+        )
+        assert len(violations) == 1
+
+    def test_sketch_counts_enter_the_contract(self):
+        from repro.obs import diff_metrics, scalar_samples
+
+        registry = MetricsRegistry()
+        registry.sketch("e2e_seconds").observe(0.5)
+        snapshot = registry.to_dict()
+        assert scalar_samples(snapshot)["e2e_seconds.count"] == 1.0
+        _, violations = diff_metrics(snapshot, registry.to_dict())
+        assert violations == []
+
+
+class TestLabelCardinalityGuard:
+    def test_new_label_sets_collapse_past_the_cap(self):
+        registry = MetricsRegistry(max_label_sets=3)
+        for index in range(3):
+            registry.counter("requests_total", venue=f"v{index}").inc()
+        overflow = registry.counter("requests_total", venue="v3")
+        assert overflow.labels == {"overflow": "true"}
+        overflow.inc(2)
+        # Every further new label set lands on the same overflow instrument.
+        assert registry.counter("requests_total", venue="v4") is overflow
+        dropped = registry.counter(
+            "metrics_label_sets_dropped_total", metric="requests_total"
+        )
+        assert dropped.value == 2
+
+    def test_existing_label_sets_unaffected_by_cap(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        first = registry.counter("requests_total", venue="a")
+        registry.counter("requests_total", venue="b")
+        registry.counter("requests_total", venue="c")  # capped
+        assert registry.counter("requests_total", venue="a") is first
+
+    def test_cap_is_per_metric_name(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.counter("a_total", venue="x")
+        other = registry.counter("b_total", venue="x")
+        assert other.labels == {"venue": "x"}
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_label_sets=0)
+
+    def test_default_cap_is_roomy(self):
+        from repro.obs import DEFAULT_MAX_LABEL_SETS
+
+        assert MetricsRegistry().max_label_sets == DEFAULT_MAX_LABEL_SETS
+        assert DEFAULT_MAX_LABEL_SETS >= 1000

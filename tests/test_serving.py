@@ -519,3 +519,60 @@ class TestServeCli:
 
         assert main(["serve", "--state", str(tmp_path / "nothing")]) == 2
         assert "no venues found" in capsys.readouterr().out
+
+
+class TestShardDepthClamp:
+    """Regression: saturation gauges must stay in [0, 1] and depth
+    non-negative even if release accounting runs one extra time (the
+    reject-path decrement hazard)."""
+
+    def _state(self, frontend):
+        return frontend._shards[frontend.venues.shard_ids[0]]
+
+    def test_negative_depth_clamps_to_zero(self):
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(queue_depth=4, registry=registry)
+        state = self._state(frontend)
+        state.set_depth(-1, frontend.queue_depth)
+        assert state.depth == 0
+        assert state.m_depth.value == 0.0
+        assert state.m_saturation.value == 0.0
+
+    def test_saturation_capped_at_one(self):
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(queue_depth=2, registry=registry)
+        state = self._state(frontend)
+        state.set_depth(5, frontend.queue_depth)
+        assert state.m_saturation.value == 1.0
+
+    def test_zero_queue_depth_reports_zero_saturation(self):
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(queue_depth=1, registry=registry)
+        state = self._state(frontend)
+        state.set_depth(1, 0)
+        assert state.m_saturation.value == 0.0
+
+    def test_double_release_after_reject_stays_consistent(self):
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(
+            queue_depth=2, admission="reject", registry=registry
+        )
+        frontend.register_venue("a", _Echo())
+        shard = frontend.venues.shard_for("a")
+        state = frontend._shards[shard]
+        state.set_depth(2, frontend.queue_depth)
+        with pytest.raises(ShardSaturatedError):
+            frontend.call("a", 1)
+        # One release per admission is correct; a stray extra decrement
+        # (the historical double-release) must not push accounting
+        # negative or break later serving.
+        state.set_depth(state.depth - 1, frontend.queue_depth)
+        state.set_depth(state.depth - 1, frontend.queue_depth)
+        state.set_depth(state.depth - 1, frontend.queue_depth)
+        assert state.depth == 0
+        assert state.m_saturation.value == 0.0
+        assert frontend.call("a", 2) == ("echo", 2)
+        assert state.depth == 0
+        assert registry.counter(
+            "serving_queries_served_total", shard=shard
+        ).value == 1
