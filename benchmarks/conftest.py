@@ -87,6 +87,12 @@ def sift_trajectory() -> dict[str, dict]:
     return _TRAJECTORIES.setdefault("BENCH_sift.json", {})
 
 
+@pytest.fixture(scope="session")
+def loadgen_trajectory() -> dict[str, dict]:
+    """Mutable dict the fleet load-test benchmarks fill with rows."""
+    return _TRAJECTORIES.setdefault("BENCH_loadgen.json", {})
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Emit one BENCH_*.json per trajectory the session filled.
 

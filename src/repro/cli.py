@@ -26,6 +26,13 @@ exits nonzero on any corruption, and with ``--rebuild-venue`` can
 reconstruct unrecoverable state from a fresh wardrive (see
 :mod:`repro.store.fsck`).
 
+``python -m repro loadtest`` runs the open-loop fleet load test
+(:mod:`repro.loadgen`): millions of simulated users with Poisson/bursty
+arrivals, mobility sessions, and Zipf venue popularity replayed against
+the serving layer's shard queues (hot-venue replication included) in
+simulated time, reporting p50/p99/p999 latency, shed fraction, and
+sustained queries/sec/core to ``--out`` (default ``BENCH_loadgen.json``).
+
 ``python -m repro serve --state DIR`` boots the multi-venue
 :class:`repro.serving.ServingFrontend` over saved venue state (one
 snapshot store per venue) and drives synthetic localization queries
@@ -738,6 +745,217 @@ def _run_serve(argv: list[str]) -> int:
     return 0
 
 
+def _run_loadtest(argv: list[str]) -> int:
+    """The ``loadtest`` subcommand: open-loop fleet load test in sim time."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadtest",
+        description="Simulate an open-loop fleet of users (Poisson arrivals, "
+        "burst envelope, mobility sessions, Zipf venue popularity) against "
+        "the serving layer's shard queues with hot-venue replication, and "
+        "report tail latency, shed fraction, and per-core throughput.",
+    )
+    parser.add_argument(
+        "--users", type=int, default=20000, help="simulated devices (default 20000)"
+    )
+    parser.add_argument(
+        "--venues", type=int, default=100, help="deployed venues (default 100)"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=60.0,
+        metavar="SEC",
+        help="simulated run length (default 60)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        metavar="QPS",
+        help="mean per-user query rate in the calm state (default 0.05)",
+    )
+    parser.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        metavar="S",
+        help="venue popularity exponent, P(rank k) ~ (k+1)^-S (default 1.1)",
+    )
+    parser.add_argument(
+        "--session-queries",
+        type=float,
+        default=4.0,
+        metavar="N",
+        help="mean queries per mobility session (default 4)",
+    )
+    parser.add_argument(
+        "--burst-multiplier",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="flash-crowd rate multiplier while bursting (default 1 = off)",
+    )
+    parser.add_argument(
+        "--burst-dwell",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="mean burst-state dwell; 0 disables the envelope (default 0)",
+    )
+    parser.add_argument(
+        "--calm-dwell",
+        type=float,
+        default=60.0,
+        metavar="SEC",
+        help="mean calm-state dwell between bursts (default 60)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="shard queues (default 4)"
+    )
+    parser.add_argument(
+        "--replication-factor",
+        type=int,
+        default=1,
+        metavar="R",
+        help="shards serving each venue; >1 spreads hot venues (default 1)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded per-shard admission queue (default 64)",
+    )
+    parser.add_argument(
+        "--channel",
+        default=None,
+        metavar="NAME",
+        help="price each query's uplink on this channel preset before "
+        "admission (Python-loop cost: use at thousands scale, not millions)",
+    )
+    parser.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-attempt uplink loss probability (needs --channel)",
+    )
+    parser.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="measure real service times through a live frontend instead of "
+        "the seeded synthetic model (wall-clock: not bit-identical)",
+    )
+    parser.add_argument(
+        "--service-mean",
+        type=float,
+        default=0.02,
+        metavar="SEC",
+        help="mean of the synthetic lognormal service model (default 0.02)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="arrival-generation worker processes (bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI scale: cap the simulated duration at 5 s",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_loadgen.json",
+        help="write the load-test report JSON here (default BENCH_loadgen.json)",
+    )
+    _add_obs_arguments(parser)
+    args = parser.parse_args(argv)
+
+    from repro.core import ServerConfig
+    from repro.loadgen import (
+        TrafficModel,
+        calibrate_service_seconds,
+        run_loadtest,
+        synthetic_service_seconds,
+    )
+
+    duration = min(args.duration, 5.0) if args.fast else args.duration
+    model = TrafficModel(
+        users=args.users,
+        venues=args.venues,
+        duration_seconds=duration,
+        rate_per_user=args.rate,
+        zipf_exponent=args.zipf,
+        session_queries=args.session_queries,
+        burst_multiplier=args.burst_multiplier,
+        burst_dwell_seconds=args.burst_dwell,
+        calm_dwell_seconds=args.calm_dwell,
+    )
+    cluster = ServerConfig(
+        num_shards=args.shards,
+        queue_depth=args.queue_depth,
+        replication_factor=args.replication_factor,
+        seed=args.seed,
+    )
+    channel = None
+    if args.channel is not None:
+        from repro.network import resolve_channel
+        from repro.network.faults import FaultyChannel
+
+        channel = FaultyChannel(
+            resolve_channel(args.channel), loss=args.loss, seed=args.seed
+        )
+    if args.calibrate:
+        service_samples = calibrate_service_seconds(seed=args.seed)
+    else:
+        service_samples = synthetic_service_seconds(
+            seed=args.seed, mean_seconds=args.service_mean
+        )
+
+    registry = MetricsRegistry()
+    collector = _make_collector(args, registry)
+    events = _make_event_log(args, registry)
+    slo = _make_slo_tracker(args, registry)
+    with _obs_scope(registry, collector, events, slo):
+        report = run_loadtest(
+            model,
+            cluster,
+            seed=args.seed,
+            workers=args.workers,
+            service_samples=service_samples,
+            channel=channel,
+            registry=registry,
+            slo_tracker=slo,
+        )
+    latency = report["latency_seconds"]
+    print(
+        f"offered {report['offered']} queries from {args.users} users over "
+        f"{duration:g} s sim: served {report['served']}, "
+        f"shed {report['shed']} ({report['shed_fraction']:.1%}), "
+        f"abandoned {report['abandoned']}"
+    )
+    print(
+        f"latency p50/p99/p999: {latency['p50'] * 1e3:.1f} / "
+        f"{latency['p99'] * 1e3:.1f} / {latency['p999'] * 1e3:.1f} ms"
+    )
+    print(
+        f"sustained {report['queries_per_second']:.1f} qps on "
+        f"{args.shards} shard(s) x{args.replication_factor} replication "
+        f"= {report['queries_per_second_per_core']:.1f} qps/core, "
+        f"hot venue share {report['hot_venue_share']:.1%}"
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"load-test report written to {args.out}")
+    _write_obs_outputs(args, registry, collector, slo=slo, events=events)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -749,6 +967,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_verify_state(argv[1:])
     if argv and argv[0] == "serve":
         return _run_serve(argv[1:])
+    if argv and argv[0] == "loadtest":
+        return _run_loadtest(argv[1:])
     if argv and argv[0] == "top":
         return _run_top(argv[1:])
     if argv and argv[0] == "slo-report":

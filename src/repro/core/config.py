@@ -117,12 +117,16 @@ class ServerConfig:
     queue_depth: int = 64
     admission: str = "wait"
     hash_replicas: int = 64
+    # Shards serving each venue (successor-list replication on the
+    # ring); >1 lets one hot venue spread over several shard queues.
+    replication_factor: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
         check_positive("num_shards", self.num_shards)
         check_positive("queue_depth", self.queue_depth)
         check_positive("hash_replicas", self.hash_replicas)
+        check_positive("replication_factor", self.replication_factor)
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.admission not in _ADMISSION_MODES:

@@ -1,0 +1,37 @@
+"""Open-loop fleet-scale traffic generation and load testing.
+
+:mod:`repro.loadgen.arrivals` synthesizes the offered load — millions
+of Poisson users under a global burst envelope, mobility sessions, and
+Zipf venue popularity — in deterministic parallel blocks.
+:mod:`repro.loadgen.runner` replays that load through the serving
+layer's queue network (real ring placement, hot-venue replication,
+optional faulty uplink leg) and reports tail latency, shed fractions,
+and per-core sustained throughput; ``python -m repro loadtest`` is the
+CLI face.
+"""
+
+from repro.loadgen.arrivals import (
+    ArrivalStream,
+    TrafficModel,
+    burst_envelope,
+    empirical_zipf_error,
+    generate_arrivals,
+    zipf_weights,
+)
+from repro.loadgen.runner import (
+    calibrate_service_seconds,
+    run_loadtest,
+    synthetic_service_seconds,
+)
+
+__all__ = [
+    "ArrivalStream",
+    "TrafficModel",
+    "burst_envelope",
+    "calibrate_service_seconds",
+    "empirical_zipf_error",
+    "generate_arrivals",
+    "run_loadtest",
+    "synthetic_service_seconds",
+    "zipf_weights",
+]

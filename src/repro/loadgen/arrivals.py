@@ -1,0 +1,297 @@
+"""Open-loop arrival synthesis for fleet-scale load tests.
+
+The generator produces a *merged, time-sorted* stream of query arrivals
+for ``users`` simulated devices over ``duration_seconds`` of simulated
+time.  Three stochastic layers compose, all drawn from named
+:func:`repro.util.rng.rng_for` streams of one experiment seed:
+
+* **Arrivals** — each user queries as a Poisson process at
+  ``rate_per_user``; a Markov-modulated burst envelope (one *global*
+  two-state calm/burst chain, modeling a flash crowd arriving at a
+  venue) multiplies every user's rate by ``burst_multiplier`` while the
+  bursty state holds.  Modulation is applied by thinning: users are
+  generated at the peak rate and arrivals are kept with probability
+  ``multiplier(t) / peak``, so the calm-only stream is a strict superset
+  filter of the same draws.
+* **Mobility sessions** — users query in bursts of consecutive queries
+  against one venue (walking through a museum wing) before moving on.
+  Each surviving arrival starts a new session with probability
+  ``1 / session_queries`` (the first arrival of a user always does), so
+  session lengths are geometric with the configured mean.
+* **Venue popularity** — each session picks its venue from a Zipf
+  distribution over ``venues`` ranked sites (venue 0 hottest):
+  ``P(venue k) ∝ (k + 1) ** -zipf_exponent``.  Skewed exponents
+  concentrate traffic on the head venues, which is what hot-venue
+  replication (``ServerConfig.replication_factor``) is for.
+
+Determinism contract (held by ``tests/test_loadgen.py``): users are
+generated in fixed blocks of ``block_users`` (default 65536), each block
+seeded ``rng_for(seed, "loadgen/block/<index>")`` — so user ``i``'s
+stream depends only on ``(seed, i // block_users)``, never on how many
+workers ran or how blocks were chunked.  ``workers=N`` output is
+bit-identical to serial, and the merge sorts with a stable key so tied
+arrival times order by block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.parallel import get_shared, parallel_map
+from repro.util.rng import rng_for
+from repro.util.validation import check_positive
+
+__all__ = [
+    "ArrivalStream",
+    "TrafficModel",
+    "burst_envelope",
+    "empirical_zipf_error",
+    "generate_arrivals",
+    "zipf_weights",
+]
+
+# Users per generation block: the unit of parallelism *and* of rng
+# stream assignment.  Fixed (not worker-derived) so per-user streams
+# survive any worker count.
+_USER_BLOCK = 65536
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Shape of the offered load: who queries, how often, against what."""
+
+    users: int = 1000
+    venues: int = 50
+    duration_seconds: float = 60.0
+    # Mean per-user query rate in the calm state (queries/sec).
+    rate_per_user: float = 0.05
+    # Venue popularity skew: P(rank k) ∝ (k+1)^-s.  1.0 is classic Zipf;
+    # larger concentrates harder on the head venue.
+    zipf_exponent: float = 1.1
+    # Mean queries per mobility session (geometric session lengths).
+    session_queries: float = 4.0
+    # Burst envelope: while bursting, every user's rate is multiplied by
+    # `burst_multiplier`; dwell times in each state are exponential with
+    # the given means.  `burst_dwell_seconds = 0` disables bursts.
+    burst_multiplier: float = 1.0
+    burst_dwell_seconds: float = 0.0
+    calm_dwell_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        check_positive("users", self.users)
+        check_positive("venues", self.venues)
+        check_positive("duration_seconds", self.duration_seconds)
+        check_positive("rate_per_user", self.rate_per_user)
+        check_positive("session_queries", self.session_queries)
+        if self.zipf_exponent < 0:
+            raise ValueError(
+                f"zipf_exponent must be >= 0, got {self.zipf_exponent}"
+            )
+        if self.burst_multiplier < 1.0:
+            raise ValueError(
+                f"burst_multiplier must be >= 1, got {self.burst_multiplier}"
+            )
+        if self.burst_dwell_seconds < 0:
+            raise ValueError("burst_dwell_seconds must be >= 0")
+        if self.burst_dwell_seconds > 0:
+            check_positive("calm_dwell_seconds", self.calm_dwell_seconds)
+
+    @property
+    def bursty(self) -> bool:
+        return self.burst_multiplier > 1.0 and self.burst_dwell_seconds > 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def zipf_weights(venues: int, exponent: float) -> np.ndarray:
+    """Normalized popularity of each venue rank (rank 0 hottest)."""
+    if venues < 1:
+        raise ValueError(f"venues must be >= 1, got {venues}")
+    ranks = np.arange(1, venues + 1, dtype=np.float64)
+    weights = ranks ** -float(exponent)
+    return weights / weights.sum()
+
+
+def burst_envelope(
+    model: TrafficModel, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The global rate-multiplier process as a step function.
+
+    Returns ``(starts, multipliers)``: segment ``j`` covers
+    ``[starts[j], starts[j + 1])`` (the last segment extends past the
+    horizon) at rate multiplier ``multipliers[j]``.  The chain starts
+    calm and alternates calm/burst with exponential dwells; without
+    bursts the envelope is a single all-ones segment.
+    """
+    if not model.bursty:
+        return np.zeros(1), np.ones(1)
+    rng = rng_for(seed, "loadgen/envelope")
+    starts = [0.0]
+    multipliers = [1.0]
+    now = 0.0
+    bursting = False
+    while now < model.duration_seconds:
+        mean = (
+            model.burst_dwell_seconds if bursting else model.calm_dwell_seconds
+        )
+        now += float(rng.exponential(mean))
+        bursting = not bursting
+        starts.append(now)
+        multipliers.append(model.burst_multiplier if bursting else 1.0)
+    return np.asarray(starts), np.asarray(multipliers)
+
+
+@dataclass
+class ArrivalStream:
+    """A merged arrival stream, sorted ascending by time.
+
+    Parallel arrays: query ``i`` arrives at ``times[i]`` from user
+    ``users[i]`` against venue rank ``venues[i]`` during that user's
+    session ``sessions[i]`` (session ids are unique across users).
+    """
+
+    times: np.ndarray
+    users: np.ndarray
+    venues: np.ndarray
+    sessions: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.times.shape[0])
+
+    def venue_counts(self, venues: int) -> np.ndarray:
+        """Offered queries per venue rank."""
+        return np.bincount(self.venues, minlength=venues)
+
+    def hot_venue_share(self, venues: int) -> float:
+        """Fraction of offered traffic hitting the single hottest venue."""
+        if not len(self):
+            return 0.0
+        return float(self.venue_counts(venues).max()) / len(self)
+
+
+def _block_arrivals(
+    model: TrafficModel,
+    seed: int,
+    block_index: int,
+    block_users: int,
+    starts: np.ndarray,
+    multipliers: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Arrivals for user block ``block_index``, sorted by (user, time).
+
+    All randomness comes from the block's own named stream, drawn in a
+    fixed order (counts → times → thinning → sessions → venues), so the
+    block is a pure function of ``(model, seed, block_index)``.
+    """
+    first_user = block_index * block_users
+    n_users = min(model.users - first_user, block_users)
+    rng = rng_for(seed, f"loadgen/block/{block_index}")
+    peak = float(multipliers.max())
+    lam = model.rate_per_user * peak * model.duration_seconds
+    counts = rng.poisson(lam, n_users)
+    total = int(counts.sum())
+    users = np.repeat(
+        np.arange(first_user, first_user + n_users, dtype=np.int64), counts
+    )
+    times = rng.uniform(0.0, model.duration_seconds, total)
+    # Uniform order statistics == Poisson arrival times; sort per user.
+    order = np.lexsort((times, users))
+    times = times[order]
+    # Thin the peak-rate stream down to the envelope's current rate.
+    if peak > 1.0:
+        accept_draw = rng.random(total)[order]
+        segment = np.searchsorted(starts, times, side="right") - 1
+        keep = accept_draw * peak <= multipliers[segment]
+        times = times[keep]
+        users = users[keep]
+    total = times.shape[0]
+    if total == 0:
+        empty_i = np.zeros(0, dtype=np.int64)
+        return np.zeros(0), empty_i, empty_i.copy(), empty_i.copy()
+    # Mobility sessions: geometric runs of queries against one venue.
+    new_session = rng.random(total) < 1.0 / model.session_queries
+    new_session[0] = True
+    new_session[1:] |= users[1:] != users[:-1]  # first arrival of a user
+    session_ids = np.cumsum(new_session) - 1
+    n_sessions = int(session_ids[-1]) + 1
+    cdf = np.cumsum(zipf_weights(model.venues, model.zipf_exponent))
+    session_venue = np.searchsorted(cdf, rng.random(n_sessions), side="right")
+    session_venue = np.minimum(session_venue, model.venues - 1).astype(np.int64)
+    venues = session_venue[session_ids]
+    return times, users, venues, session_ids.astype(np.int64)
+
+
+def _generate_block(block_index: int):
+    model, seed, block_users, starts, multipliers = get_shared()
+    return _block_arrivals(
+        model, seed, block_index, block_users, starts, multipliers
+    )
+
+
+def generate_arrivals(
+    model: TrafficModel,
+    seed: int = 0,
+    workers: int = 1,
+    block_users: int = _USER_BLOCK,
+) -> ArrivalStream:
+    """Generate the full fleet's arrival stream, sorted by time.
+
+    ``workers`` parallelizes over user blocks through
+    :func:`repro.parallel.parallel_map`; the output is bit-identical for
+    any worker count because every block derives its own rng stream from
+    its index.  ``block_users`` is part of the stream definition (the
+    default is the production value; tests shrink it to exercise
+    multi-block merges with few users).
+    """
+    check_positive("block_users", block_users)
+    starts, multipliers = burst_envelope(model, seed)
+    n_blocks = math.ceil(model.users / block_users)
+    blocks = parallel_map(
+        _generate_block,
+        range(n_blocks),
+        workers=workers,
+        shared=(model, seed, block_users, starts, multipliers),
+    )
+    times = np.concatenate([block[0] for block in blocks])
+    users = np.concatenate([block[1] for block in blocks])
+    venues = np.concatenate([block[2] for block in blocks])
+    # Session ids are block-local; offset them to be globally unique.
+    session_parts: list[np.ndarray] = []
+    base = 0
+    for block in blocks:
+        ids = block[3]
+        session_parts.append(ids + base)
+        if ids.shape[0]:
+            base += int(ids[-1]) + 1
+    sessions = (
+        np.concatenate(session_parts) if session_parts else np.zeros(0, np.int64)
+    )
+    # Stable sort: tied times keep block (hence user) order, so the
+    # merged stream is deterministic too.
+    order = np.argsort(times, kind="stable")
+    return ArrivalStream(
+        times=times[order],
+        users=users[order],
+        venues=venues[order],
+        sessions=sessions[order],
+    )
+
+
+def empirical_zipf_error(stream: ArrivalStream, model: TrafficModel) -> float:
+    """Largest absolute gap between offered and ideal venue frequency.
+
+    Diagnostic used by the determinism tests: with enough arrivals the
+    per-venue empirical frequencies converge on
+    :func:`zipf_weights`; the max-gap statistic gives them a single
+    tolerance to assert.
+    """
+    if not len(stream):
+        return 0.0
+    observed = stream.venue_counts(model.venues) / len(stream)
+    ideal = zipf_weights(model.venues, model.zipf_exponent)
+    return float(np.abs(observed - ideal).max())

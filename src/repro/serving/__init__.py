@@ -22,8 +22,12 @@ package scales it out:
 from repro.serving.frontend import ServingFrontend, ShardSaturatedError
 from repro.serving.hashring import ConsistentHashRing
 from repro.serving.loadsim import (
+    QUERY_ABANDONED,
+    QUERY_SERVED,
+    QUERY_SHED,
     ShardLoadModel,
     SimulatedLoadResult,
+    simulate_queue_network,
     simulate_shard_throughput,
 )
 from repro.serving.registry import VenueRegistry, load_venue_server
@@ -39,6 +43,9 @@ __all__ = [
     "EngineSpec",
     "InlineShardWorker",
     "ProcessShardWorker",
+    "QUERY_ABANDONED",
+    "QUERY_SERVED",
+    "QUERY_SHED",
     "ServingFrontend",
     "ShardLoadModel",
     "ShardSaturatedError",
@@ -46,5 +53,6 @@ __all__ = [
     "VenueRegistry",
     "load_venue_server",
     "resolve_serve",
+    "simulate_queue_network",
     "simulate_shard_throughput",
 ]

@@ -126,6 +126,7 @@ class ServingFrontend:
         seed: int = 0,
         registry: MetricsRegistry | None = None,
         slo: SloTracker | None = None,
+        replication_factor: int = 1,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -138,7 +139,12 @@ class ServingFrontend:
         self.process_mode = int(workers) > 1
         self._registry = resolve_registry(registry)
         self.slo = slo if slo is not None else current_slo_tracker()
-        self.venues = VenueRegistry(num_shards, replicas=replicas, seed=seed)
+        self.venues = VenueRegistry(
+            num_shards,
+            replicas=replicas,
+            seed=seed,
+            replication_factor=replication_factor,
+        )
         self._shards: dict[str, _ShardState] = {}
         for shard_id in self.venues.shard_ids:
             self._add_shard_state(shard_id)
@@ -169,6 +175,7 @@ class ServingFrontend:
             replicas=config.hash_replicas,
             seed=config.seed,
             registry=registry,
+            replication_factor=getattr(config, "replication_factor", 1),
         )
 
     # ------------------------------------------------------------------
@@ -187,16 +194,22 @@ class ServingFrontend:
         self._shards[shard_id].set_depth(0, self.queue_depth)
 
     def register_venue(self, name: str, engine: Any) -> str:
-        """Place a venue on the ring and attach its engine to the owner."""
+        """Place a venue on the ring and attach its engine to every owner.
+
+        With ``replication_factor > 1`` the engine attaches to the whole
+        replica set; the return value is the primary shard.
+        """
         shard_id = self.venues.register(name, engine)
-        self._shards[shard_id].worker.attach(name, engine)
+        for replica in self.venues.shards_for(name):
+            self._shards[replica].worker.attach(name, engine)
         self._m_venues.set(float(len(self.venues)))
         return shard_id
 
     def unregister_venue(self, name: str) -> None:
-        shard_id = self.venues.shard_for(name)
+        replicas = self.venues.shards_for(name)
         self.venues.unregister(name)
-        self._shards[shard_id].worker.detach(name)
+        for shard_id in replicas:
+            self._shards[shard_id].worker.detach(name)
         self._m_venues.set(float(len(self.venues)))
 
     def add_shard(self, shard_id: str | None = None) -> list[str]:
@@ -232,29 +245,39 @@ class ServingFrontend:
         return moved
 
     def _rebalance(self, before: dict[str, list[str]], closing=None) -> list[str]:
+        # Venue-centric diff of the two placements: a venue "moved" when
+        # its replica set changed at all; it attaches on shards it
+        # gained and detaches from shards it lost (which keeps the diff
+        # correct when replication places one venue on several shards).
         after = self.venues.placement()
-        moved: list[str] = []
-        for shard_id, names in after.items():
-            previous = set(before.get(shard_id, ()))
+        before_sets: dict[str, set[str]] = {}
+        for shard_id, names in before.items():
             for name in names:
-                if name in previous:
-                    continue
-                moved.append(name)
-                old_shard = next(
-                    (s for s, venues in before.items() if name in venues), None
-                )
-                if old_shard is not None:
-                    old_state = (
-                        closing
-                        if closing is not None and closing.shard_id == old_shard
-                        else self._shards.get(old_shard)
-                    )
-                    if old_state is not None:
-                        old_state.worker.detach(name)
+                before_sets.setdefault(name, set()).add(shard_id)
+        after_sets: dict[str, set[str]] = {}
+        for shard_id, names in after.items():
+            for name in names:
+                after_sets.setdefault(name, set()).add(shard_id)
+        moved: list[str] = []
+        for name in sorted(after_sets):
+            old = before_sets.get(name, set())
+            new = after_sets[name]
+            if old == new:
+                continue
+            moved.append(name)
+            for shard_id in sorted(new - old):
                 self._shards[shard_id].worker.attach(
                     name, self.venues.engine(name)
                 )
-        return sorted(moved)
+            for shard_id in sorted(old - new):
+                old_state = (
+                    closing
+                    if closing is not None and closing.shard_id == shard_id
+                    else self._shards.get(shard_id)
+                )
+                if old_state is not None:
+                    old_state.worker.detach(name)
+        return moved
 
     def placement(self) -> dict[str, list[str]]:
         return self.venues.placement()
@@ -287,7 +310,16 @@ class ServingFrontend:
         exceptions propagate after being counted.
         """
         self.venues.engine(venue)  # unknown venues fail before admission
-        shard_id = self.venues.shard_for(venue)
+        if self.venues.replication_factor == 1:
+            shard_id = self.venues.shard_for(venue)
+        else:
+            # Replicated venue: join the shortest replica queue (ties
+            # break toward the primary — the replica-list order — so
+            # routing stays deterministic).
+            shard_id = min(
+                self.venues.shards_for(venue),
+                key=lambda sid: self._shards[sid].depth,
+            )
         state = self._shards[shard_id]
         if self.admission == "reject" and state.depth >= self.queue_depth:
             state.m_rejected.inc()

@@ -106,6 +106,36 @@ class ConsistentHashRing:
             index = 0
         return self._owners[index]
 
+    def route_replicas(self, key: str, count: int) -> list[str]:
+        """The first ``count`` *distinct* shards clockwise from ``key``.
+
+        The successor-list replica set: entry 0 is :meth:`route`'s
+        primary, the rest are the next distinct owners walking the ring.
+        Stable under the same guarantees as :meth:`route` (pure function
+        of the key and the shard set) and capped at the number of shards
+        on the ring — asking for more replicas than shards returns them
+        all rather than raising, so callers can over-provision
+        ``replication_factor`` on small test rings.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if not self._shards:
+            raise KeyError("cannot route on an empty ring")
+        count = min(count, len(self._shards))
+        point = _hash_point(self.seed, f"key:{key}")
+        start = bisect.bisect_right(self._points, point)
+        replicas: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            replicas.append(owner)
+            if len(replicas) == count:
+                break
+        return replicas
+
     def placement(self, keys: list[str]) -> dict[str, list[str]]:
         """Group ``keys`` by owning shard (every shard gets an entry)."""
         out: dict[str, list[str]] = {shard: [] for shard in self.shards}

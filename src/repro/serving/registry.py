@@ -54,12 +54,18 @@ class VenueRegistry:
         replicas: int = 64,
         seed: int = 0,
         shard_ids: list[str] | None = None,
+        replication_factor: int = 1,
     ) -> None:
         if shard_ids is None:
             if num_shards < 1:
                 raise ValueError(f"num_shards must be >= 1, got {num_shards}")
             shard_ids = [f"shard-{index}" for index in range(num_shards)]
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
         self.ring = ConsistentHashRing(shard_ids, replicas=replicas, seed=seed)
+        self.replication_factor = int(replication_factor)
         self._engines: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
@@ -110,9 +116,30 @@ class VenueRegistry:
         """The shard owning ``name`` (pure ring function; any string routes)."""
         return self.ring.route(name)
 
+    def shards_for(self, name: str) -> list[str]:
+        """The venue's replica set: ``replication_factor`` distinct shards.
+
+        Entry 0 is :meth:`shard_for`'s primary owner; the rest are the
+        ring's clockwise successors (capped at the shard count).  A hot
+        venue registered with ``replication_factor > 1`` serves from
+        every shard in this list, so skewed Zipf traffic spreads instead
+        of melting one queue.
+        """
+        return self.ring.route_replicas(name, self.replication_factor)
+
     def placement(self) -> dict[str, list[str]]:
-        """Shard id → sorted venue names currently placed there."""
-        return self.ring.placement(self.venues)
+        """Shard id → sorted venue names placed there (replicas included).
+
+        With ``replication_factor > 1`` a venue appears under every
+        shard in its replica set, so column sums exceed ``len(self)``.
+        """
+        if self.replication_factor == 1:
+            return self.ring.placement(self.venues)
+        out: dict[str, list[str]] = {shard: [] for shard in self.shard_ids}
+        for name in self.venues:
+            for shard in self.shards_for(name):
+                out[shard].append(name)
+        return out
 
     # ------------------------------------------------------------------
     # Durable state, per venue

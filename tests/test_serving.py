@@ -24,12 +24,16 @@ from repro.core import (
 )
 from repro.obs import MetricsRegistry
 from repro.serving import (
+    QUERY_ABANDONED,
+    QUERY_SERVED,
+    QUERY_SHED,
     ConsistentHashRing,
     EngineSpec,
     ServingFrontend,
     ShardLoadModel,
     ShardSaturatedError,
     VenueRegistry,
+    simulate_queue_network,
     simulate_shard_throughput,
 )
 from repro.util.rng import rng_for
@@ -420,6 +424,147 @@ class TestLoadSimulator:
         with pytest.raises(ValueError):
             simulate_shard_throughput([-1.0], ShardLoadModel(1))
 
+    # -- accounting bugfix regressions (ISSUE 9 satellites) ------------
+
+    def test_deque_backlog_matches_reference_accounting(self):
+        """The deque rewrite preserves the exact shed/served pattern."""
+        # Saturated single shard, hand-traced: with service 3.0, gap
+        # 1.0, depth 1, every third arrival is served at its arrival
+        # instant (the queue retires exactly then) and the two between
+        # are shed.
+        result = simulate_shard_throughput(
+            [3.0] * 8, ShardLoadModel(1, queue_depth=1, interarrival_seconds=1.0)
+        )
+        assert result.served == 3  # queries 0, 3, 6
+        assert result.shed == 5
+        assert result.offered == 8
+        assert result.wait_seconds_total == 0.0
+        assert result.last_finish_seconds == 9.0
+
+    def test_makespan_extends_to_last_offered_arrival(self):
+        """qps divides by max(last_arrival, last_finish), not the served
+        prefix's finish — a tail of offered-but-never-served arrivals
+        (e.g. lost in the channel leg) must not inflate throughput."""
+        arrivals = [float(i) for i in range(10)]
+        service = [0.5] * 10
+        # The channel swallows everything after t=2: offered load keeps
+        # arriving until t=9 but nothing reaches a shard.
+        lost = [False] * 3 + [True] * 7
+        result, outcomes = simulate_queue_network(
+            arrivals, service, [0] * 10, num_shards=1, queue_depth=4,
+            abandoned=lost,
+        )
+        assert result.served == 3
+        assert result.abandoned == 7
+        assert result.offered == 10
+        assert result.last_finish_seconds == 2.5
+        assert result.last_arrival_seconds == 9.0
+        assert result.makespan_seconds == 9.0
+        assert result.queries_per_second == pytest.approx(3 / 9.0)
+        # The pre-fix accounting would have reported served/last_finish.
+        assert result.queries_per_second < result.served / result.last_finish_seconds
+        assert outcomes == [QUERY_SERVED] * 3 + [QUERY_ABANDONED] * 7
+
+    def test_saturation_locks_corrected_throughput_value(self):
+        """Saturated run: the corrected qps value, locked by hand."""
+        result = simulate_shard_throughput(
+            [3.0] * 8, ShardLoadModel(1, queue_depth=1, interarrival_seconds=1.0)
+        )
+        # Served at t=0,3,6 finishing at 3,6,9; last arrival t=7.
+        assert result.makespan_seconds == max(7.0, 9.0) == 9.0
+        assert result.queries_per_second == pytest.approx(3 / 9.0)
+
+    def test_overload_wait_accounting_exports_both_views(self):
+        """Served-only mean wait *improves* as overload worsens (the
+        survivor bias the offered count exposes)."""
+        mild = simulate_shard_throughput(
+            [1.0] * 60, ShardLoadModel(1, queue_depth=4, interarrival_seconds=0.5)
+        )
+        heavy = simulate_shard_throughput(
+            [1.0] * 60, ShardLoadModel(1, queue_depth=4, interarrival_seconds=0.05)
+        )
+        assert heavy.shed_fraction > mild.shed_fraction > 0.0
+        # The misleading direction the fix documents: heavier shedding,
+        # *better-looking* served-only wait.
+        assert heavy.mean_wait_seconds < mild.mean_wait_seconds
+        for result in (mild, heavy):
+            assert result.offered == 60 == result.served + result.shed
+            assert result.mean_wait_seconds_offered <= result.mean_wait_seconds
+            exported = result.as_dict()
+            assert exported["offered"] == 60
+            assert exported["mean_wait_seconds"] == result.mean_wait_seconds
+            assert (
+                exported["mean_wait_seconds_offered"]
+                == result.mean_wait_seconds_offered
+            )
+            assert exported["shed_fraction"] == result.shed_fraction
+
+    # -- the generalized queue-network entry point ---------------------
+
+    def test_explicit_arrivals_validate_ordering_and_length(self):
+        with pytest.raises(ValueError, match="sorted"):
+            simulate_queue_network([1.0, 0.5], [0.1, 0.1], [0, 0], 1)
+        with pytest.raises(ValueError, match="length"):
+            simulate_queue_network([0.0], [0.1, 0.1], [0, 0], 1)
+        with pytest.raises(ValueError):
+            simulate_queue_network([0.0], [0.1], [0], 0)
+
+    def test_fixed_gap_wrapper_matches_network_form(self):
+        service = [0.03, 0.01, 0.07, 0.02] * 25
+        model = ShardLoadModel(3, queue_depth=4, interarrival_seconds=0.01)
+        via_wrapper = simulate_shard_throughput(service, model)
+        arrivals = [i * 0.01 for i in range(len(service))]
+        choices = [i % 3 for i in range(len(service))]
+        via_network, _ = simulate_queue_network(
+            arrivals, service, choices, 3, queue_depth=4
+        )
+        assert via_wrapper.as_dict() == via_network.as_dict()
+
+    def test_replica_choices_join_shortest_queue(self):
+        # Two shards, every query may use either: a long-running query
+        # parks on shard 0 and the rest flow through shard 1 unshed.
+        arrivals = [0.0, 0.1, 0.2, 0.3]
+        service = [10.0, 0.05, 0.05, 0.05]
+        choices = [(0, 1)] * 4
+        result, outcomes = simulate_queue_network(
+            arrivals, service, choices, 2, queue_depth=1
+        )
+        assert result.served == 4
+        assert result.shed == 0
+        assert outcomes == [QUERY_SERVED] * 4
+        assert result.busy_seconds_per_shard[0] == pytest.approx(10.0)
+        assert result.busy_seconds_per_shard[1] == pytest.approx(0.15)
+
+    def test_single_candidate_sheds_where_replicas_absorb(self):
+        arrivals = [0.0, 0.1, 0.2, 0.3]
+        service = [10.0, 0.05, 0.05, 0.05]
+        pinned, _ = simulate_queue_network(
+            arrivals, service, [0] * 4, 2, queue_depth=1
+        )
+        replicated, _ = simulate_queue_network(
+            arrivals, service, [(0, 1)] * 4, 2, queue_depth=1
+        )
+        assert pinned.shed == 3
+        assert replicated.shed == 0
+        assert replicated.queries_per_second > pinned.queries_per_second
+
+    def test_observation_hooks_fire_in_arrival_order(self):
+        seen_served = []
+        seen_arrivals = []
+        result, outcomes = simulate_queue_network(
+            [0.0, 0.5, 0.6],
+            [1.0, 1.0, 1.0],
+            [0, 0, 0],
+            1,
+            queue_depth=1,
+            on_served=lambda i, wait, finish: seen_served.append((i, wait, finish)),
+            on_arrival=lambda i, shard, depth: seen_arrivals.append((i, shard, depth)),
+        )
+        assert outcomes == [QUERY_SERVED, QUERY_SHED, QUERY_SHED]
+        assert seen_served == [(0, 0.0, 1.0)]
+        assert seen_arrivals == [(0, 0, 0), (1, 0, 1), (2, 0, 1)]
+        assert result.served == 1 and result.shed == 2
+
 
 class TestServingParity:
     """fig13's retrieval path through the frontend is bit-identical."""
@@ -576,3 +721,142 @@ class TestShardDepthClamp:
         assert registry.counter(
             "serving_queries_served_total", shard=shard
         ).value == 1
+
+
+class TestReplication:
+    """Successor-list replication: ring → registry → frontend routing."""
+
+    def test_route_replicas_primary_first_and_distinct(self):
+        ring = ConsistentHashRing(["s0", "s1", "s2", "s3"])
+        for key in _KEYS:
+            replicas = ring.route_replicas(key, 3)
+            assert replicas[0] == ring.route(key)
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+
+    def test_route_replicas_deterministic_across_instances(self):
+        a = ConsistentHashRing(["s0", "s1", "s2", "s3"])
+        b = ConsistentHashRing(["s3", "s1", "s0", "s2"])
+        for key in _KEYS[:50]:
+            assert a.route_replicas(key, 2) == b.route_replicas(key, 2)
+
+    def test_route_replicas_caps_at_shard_count(self):
+        ring = ConsistentHashRing(["s0", "s1"])
+        replicas = ring.route_replicas("venue", 10)
+        assert sorted(replicas) == ["s0", "s1"]
+
+    def test_route_replicas_validation(self):
+        ring = ConsistentHashRing(["s0"])
+        with pytest.raises(ValueError):
+            ring.route_replicas("venue", 0)
+        with pytest.raises(KeyError):
+            ConsistentHashRing().route_replicas("venue", 1)
+
+    def test_registry_shards_for_matches_ring(self):
+        registry = VenueRegistry(4, replication_factor=2)
+        for key in _KEYS[:50]:
+            replicas = registry.shards_for(key)
+            assert replicas == registry.ring.route_replicas(key, 2)
+            assert replicas[0] == registry.shard_for(key)
+
+    def test_registry_placement_lists_every_replica(self):
+        registry = VenueRegistry(4, replication_factor=2)
+        names = _KEYS[:20]
+        for name in names:
+            registry.register(name, _Echo(name))
+        placement = registry.placement()
+        seen = [name for venues in placement.values() for name in venues]
+        assert sorted(seen) == sorted(names * 2)
+        for name in names:
+            for shard in registry.shards_for(name):
+                assert name in placement[shard]
+
+    def test_registry_rf1_placement_unchanged(self):
+        plain = VenueRegistry(4)
+        replicated = VenueRegistry(4, replication_factor=1)
+        for name in _KEYS[:20]:
+            plain.register(name, _Echo(name))
+            replicated.register(name, _Echo(name))
+        assert plain.placement() == replicated.placement()
+
+    def test_registry_validation(self):
+        with pytest.raises(ValueError):
+            VenueRegistry(2, replication_factor=0)
+
+    def test_frontend_replicated_venue_served_from_every_replica(self):
+        registry = MetricsRegistry()
+        frontend = ServingFrontend(
+            num_shards=4, replication_factor=2, registry=registry
+        )
+        frontend.register_venue("hot", _Echo())
+        primary, secondary = frontend.venues.shards_for("hot")
+        # Equal depth ties toward the primary.
+        assert frontend.call("hot", 1) == ("echo", 1)
+        assert registry.counter(
+            "serving_queries_served_total", shard=primary
+        ).value == 1
+        # A loaded primary diverts the next query to the secondary.
+        frontend._shards[primary].set_depth(5, frontend.queue_depth)
+        assert frontend.call("hot", 2) == ("echo", 2)
+        assert registry.counter(
+            "serving_queries_served_total", shard=secondary
+        ).value == 1
+
+    def test_frontend_rf1_matches_default_routing(self):
+        plain = ServingFrontend(num_shards=4, registry=MetricsRegistry())
+        replicated = ServingFrontend(
+            num_shards=4, replication_factor=1, registry=MetricsRegistry()
+        )
+        for name in _KEYS[:20]:
+            assert plain.register_venue(name, _Echo(name)) == (
+                replicated.register_venue(name, _Echo(name))
+            )
+        assert plain.placement() == replicated.placement()
+
+    def test_from_config_carries_replication_factor(self):
+        config = ServerConfig(num_shards=4, replication_factor=3)
+        frontend = ServingFrontend.from_config(config, registry=MetricsRegistry())
+        assert frontend.venues.replication_factor == 3
+        assert len(frontend.venues.shards_for("anything")) == 3
+
+    def test_add_shard_rebalances_replica_sets_and_keeps_serving(self):
+        frontend = ServingFrontend(
+            num_shards=3, replication_factor=2, registry=MetricsRegistry()
+        )
+        names = _KEYS[:30]
+        for name in names:
+            frontend.register_venue(name, _Echo(name))
+        frontend.add_shard("shard-3")
+        placement = frontend.placement()
+        for name in names:
+            for shard in frontend.venues.shards_for(name):
+                assert name in placement[shard]
+            assert frontend.call(name, name) == (name, name)
+
+    def test_remove_shard_rebalances_replica_sets_and_keeps_serving(self):
+        frontend = ServingFrontend(
+            num_shards=4, replication_factor=2, registry=MetricsRegistry()
+        )
+        names = _KEYS[:30]
+        for name in names:
+            frontend.register_venue(name, _Echo(name))
+        frontend.remove_shard("shard-1")
+        placement = frontend.placement()
+        assert "shard-1" not in placement
+        for name in names:
+            replicas = frontend.venues.shards_for(name)
+            assert "shard-1" not in replicas
+            for shard in replicas:
+                assert name in placement[shard]
+            assert frontend.call(name, name) == (name, name)
+
+    def test_unregister_detaches_all_replicas(self):
+        frontend = ServingFrontend(
+            num_shards=4, replication_factor=2, registry=MetricsRegistry()
+        )
+        frontend.register_venue("hot", _Echo())
+        frontend.unregister_venue("hot")
+        placement = frontend.placement()
+        assert all("hot" not in venues for venues in placement.values())
+        with pytest.raises(KeyError):
+            frontend.call("hot", 1)
