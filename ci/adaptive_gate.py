@@ -1,0 +1,91 @@
+"""CI gate for the adaptive-smoke job.
+
+Reads the metrics snapshot of a ``repro adaptive --fast`` run and
+enforces the PR's acceptance bar on the *seeded, deterministic*
+counters:
+
+* at the bursty Gilbert–Elliott operating point, the adaptive arm must
+  waste strictly fewer transfer bytes than the reactive baseline and
+  must not abandon more queries (no accuracy regression);
+* across all regimes, adaptive must strictly reduce wasted bytes in at
+  least two of the three.
+
+Usage: ``python ci/adaptive_gate.py adaptive-metrics.json``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+REGIMES = ("stationary", "bursty", "ramp")
+
+
+def _counter(snapshot: dict, name: str, **labels) -> float:
+    rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    entry = snapshot["counters"].get(f"{name}{{{rendered}}}")
+    return float(entry["value"]) if entry else 0.0
+
+
+def main(path: str) -> int:
+    with open(path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    failures: list[str] = []
+    improved = 0
+    for regime in REGIMES:
+        adaptive = _counter(
+            snapshot, "network_wasted_bytes_total", channel=f"{regime}-adaptive"
+        )
+        reactive = _counter(
+            snapshot, "network_wasted_bytes_total", channel=f"{regime}-reactive"
+        )
+        improved += adaptive < reactive
+        print(
+            f"{regime:<11} wasted bytes: adaptive {adaptive:>12.0f}  "
+            f"reactive {reactive:>12.0f}  "
+            f"({'better' if adaptive < reactive else 'NOT better'})"
+        )
+    bursty_adaptive = _counter(
+        snapshot, "network_wasted_bytes_total", channel="bursty-adaptive"
+    )
+    bursty_reactive = _counter(
+        snapshot, "network_wasted_bytes_total", channel="bursty-reactive"
+    )
+    if not bursty_adaptive < bursty_reactive:
+        failures.append(
+            "bursty operating point: adaptive wasted bytes "
+            f"({bursty_adaptive:.0f}) not below reactive ({bursty_reactive:.0f})"
+        )
+    abandoned_adaptive = _counter(
+        snapshot, "queries_abandoned_total", channel="bursty-adaptive"
+    )
+    abandoned_reactive = _counter(
+        snapshot, "queries_abandoned_total", channel="bursty-reactive"
+    )
+    print(
+        f"bursty abandoned: adaptive {abandoned_adaptive:.0f}  "
+        f"reactive {abandoned_reactive:.0f}"
+    )
+    if abandoned_adaptive > abandoned_reactive:
+        failures.append(
+            "bursty operating point: adaptive abandoned more queries "
+            f"({abandoned_adaptive:.0f} > {abandoned_reactive:.0f})"
+        )
+    if improved < 2:
+        failures.append(
+            f"adaptive improved wasted bytes in only {improved}/3 regimes "
+            "(needs >= 2)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"adaptive gate ok: improved {improved}/3 regimes")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

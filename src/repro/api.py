@@ -23,9 +23,11 @@ Serving
 
 Transport & codecs
     :class:`UplinkChannel` presets (:data:`CHANNEL_PRESETS`),
-    :class:`RetryPolicy`, and the frame codecs
-    (:class:`JpegCodec`, :class:`H264Codec`, ...) the paper's baselines
-    upload with.
+    :class:`RetryPolicy`, the predictive link layer
+    (:class:`AdaptiveConfig`, :class:`AdaptiveOffloadPolicy`,
+    :class:`LinkQualityEstimator`, :class:`TransferOutcome`), and the
+    frame codecs (:class:`JpegCodec`, :class:`H264Codec`, ...) the
+    paper's baselines upload with.
 
 Durability
     :class:`SnapshotStore` / :class:`ServerStateStore` (crash-safe
@@ -54,8 +56,12 @@ from repro.core import (
 from repro.core.persistence import ServerStateStore, load_server, save_server
 from repro.network import (
     CHANNEL_PRESETS,
+    AdaptiveConfig,
+    AdaptiveOffloadPolicy,
+    LinkQualityEstimator,
     RetryPolicy,
     SubmissionOutcome,
+    TransferOutcome,
     UplinkChannel,
 )
 from repro.obs import MetricsRegistry
@@ -69,12 +75,15 @@ from repro.store import SnapshotStore
 
 __all__ = [
     "CHANNEL_PRESETS",
+    "AdaptiveConfig",
+    "AdaptiveOffloadPolicy",
     "ClientConfig",
     "Codec",
     "ConsistentHashRing",
     "Fingerprint",
     "H264Codec",
     "JpegCodec",
+    "LinkQualityEstimator",
     "LocalizationAnswer",
     "MetricsRegistry",
     "OffloadReport",
@@ -89,6 +98,7 @@ __all__ = [
     "ShardSaturatedError",
     "SnapshotStore",
     "SubmissionOutcome",
+    "TransferOutcome",
     "UniquenessOracle",
     "UplinkChannel",
     "VenueRegistry",

@@ -80,6 +80,7 @@ from repro.obs import (
 )
 
 from repro.evaluation.experiments import (
+    adaptive_offload,
     fig2_fps,
     fig3_keypoints,
     fig5_feature_ratio,
@@ -98,6 +99,7 @@ from repro.evaluation.experiments import (
 __all__ = ["main"]
 
 _EXPERIMENTS = {
+    "adaptive": adaptive_offload,
     "latency": latency_e2e,
     "fig2": fig2_fps,
     "fig3": fig3_keypoints,
@@ -124,6 +126,7 @@ _FAULT_AWARE = {"fig13", "fig14", "fig16", "latency"}
 _SERVING_AWARE = {"fig13", "fig16"}
 
 _FAST_PARAMS: dict[str, dict] = {
+    "adaptive": dict(queries=240),
     "fig2": dict(num_frames=6, image_size=160),
     "fig3": dict(num_images=12, image_size=160),
     "fig5": dict(num_images=12, image_size=160),
@@ -841,6 +844,13 @@ def _run_loadtest(argv: list[str]) -> int:
         help="per-attempt uplink loss probability (needs --channel)",
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="shape the uplink leg with the predictive link-quality "
+        "policy (entry rung / retry budget before each query; needs "
+        "--channel)",
+    )
+    parser.add_argument(
         "--calibrate",
         action="store_true",
         help="measure real service times through a live frontend instead of "
@@ -909,6 +919,9 @@ def _run_loadtest(argv: list[str]) -> int:
         channel = FaultyChannel(
             resolve_channel(args.channel), loss=args.loss, seed=args.seed
         )
+    if args.adaptive and channel is None:
+        print("--adaptive needs --channel")
+        return 2
     if args.calibrate:
         service_samples = calibrate_service_seconds(seed=args.seed)
     else:
@@ -928,6 +941,7 @@ def _run_loadtest(argv: list[str]) -> int:
             workers=args.workers,
             service_samples=service_samples,
             channel=channel,
+            adaptive=args.adaptive,
             registry=registry,
             slo_tracker=slo,
         )

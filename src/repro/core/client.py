@@ -28,7 +28,8 @@ from repro.core.oracle import UniquenessOracle
 from repro.features.keypoint import DESCRIPTOR_DIM, KeypointSet
 from repro.features.serialize import serialize_keypoints_into, serialized_size
 from repro.features.sift import SiftExtractor, SiftParams
-from repro.network.faults import RetryPolicy, SubmissionOutcome, submit_payload
+from repro.network.faults import RetryPolicy, TransferOutcome, submit_payload
+from repro.network.linkstate import AdaptiveConfig, AdaptiveOffloadPolicy
 from repro.obs import (
     DEFAULT_BYTE_BUCKETS,
     MetricsRegistry,
@@ -55,7 +56,7 @@ class OffloadReport:
 
     status: str
     fingerprint: Fingerprint | None
-    outcome: SubmissionOutcome | None
+    outcome: TransferOutcome | None
 
 
 class VisualPrintClient:
@@ -71,6 +72,7 @@ class VisualPrintClient:
         retry_policy: RetryPolicy | None = None,
         degrade_floor: int = 16,
         degrade_steps: int = 2,
+        adaptive: "AdaptiveOffloadPolicy | AdaptiveConfig | None" = None,
     ) -> None:
         self.oracle = oracle
         self.config = config or oracle.config
@@ -95,6 +97,12 @@ class VisualPrintClient:
         # How many ladder rungs recent submissions had to step down;
         # starts the next submission pre-degraded (see DESIGN.md §9).
         self._backpressure_level = 0
+        # Optional predictive layer: consulted ahead of every
+        # submission to shape entry rung / retry budget / path before
+        # the first byte goes out (see DESIGN.md §15).
+        if adaptive is not None and not isinstance(adaptive, AdaptiveOffloadPolicy):
+            adaptive = AdaptiveOffloadPolicy(adaptive)
+        self.adaptive = adaptive
         self._m_stage_seconds = {
             stage: self._registry.histogram(
                 f"client_{stage}_seconds",
@@ -146,6 +154,7 @@ class VisualPrintClient:
             retry_policy=config.retry,
             degrade_floor=config.degrade_floor,
             degrade_steps=config.degrade_steps,
+            adaptive=config.adaptive,
         )
 
     # ------------------------------------------------------------------
@@ -270,7 +279,7 @@ class VisualPrintClient:
         channel,
         rng: np.random.Generator | None = None,
         retry_policy: RetryPolicy | None = None,
-    ) -> SubmissionOutcome:
+    ) -> TransferOutcome:
         """Push one fingerprint through ``channel`` with retries.
 
         Failed attempts step down the degradation ladder; persistent
@@ -279,10 +288,21 @@ class VisualPrintClient:
         one rung back up (additive-increase / additive-decrease).  On a
         fault-free channel this is exactly one ``transfer_seconds``
         call — zero-fault parity with driving the channel directly.
+
+        With :attr:`adaptive` set, the policy is consulted *before* the
+        first byte goes out: it may pre-degrade the entry rung, widen
+        the retry budget, scale backoff, and (in multi-path mode) pick
+        the uplink channel — the reactive backpressure level still
+        applies, as a lower bound on the entry rung.
         """
         policy = retry_policy or self.retry_policy or RetryPolicy()
         ladder = self.degradation_ladder(fingerprint)
         start = min(self._backpressure_level, len(ladder) - 1)
+        if self.adaptive is not None:
+            decision = self.adaptive.decide(channel, ladder_rungs=len(ladder))
+            channel = decision.channel
+            start = min(max(start, decision.entry_rung), len(ladder) - 1)
+            policy = decision.adapt_retry_policy(policy)
         outcome = submit_payload(
             channel,
             ladder,

@@ -19,6 +19,7 @@ from repro.util.validation import check_positive
 if TYPE_CHECKING:  # avoid import cycles; configs only reference these
     from repro.features.sift import SiftParams
     from repro.network.faults import RetryPolicy
+    from repro.network.linkstate import AdaptiveConfig
 
 __all__ = ["ClientConfig", "ServerConfig", "VisualPrintConfig"]
 
@@ -144,8 +145,12 @@ class ClientConfig:
     :class:`repro.core.VisualPrintClient`: ``pipeline`` is the shared
     operating point, ``sift`` overrides extractor tuning (``None`` keeps
     the client's default low-contrast threshold), ``retry`` is the
-    uplink retry policy, and the ``degrade_*`` fields shape the
-    fingerprint degradation ladder (DESIGN.md §9).
+    uplink retry policy, the ``degrade_*`` fields shape the
+    fingerprint degradation ladder (DESIGN.md §9), and ``adaptive``
+    (an :class:`repro.network.linkstate.AdaptiveConfig`) turns on
+    predictive link-quality estimation — the client then shapes each
+    transmission *before* sending instead of only reacting to failures
+    (DESIGN.md §15).
     """
 
     pipeline: VisualPrintConfig = field(default_factory=VisualPrintConfig)
@@ -153,6 +158,7 @@ class ClientConfig:
     retry: "RetryPolicy | None" = None
     degrade_floor: int = 16
     degrade_steps: int = 2
+    adaptive: "AdaptiveConfig | None" = None
 
     def __post_init__(self) -> None:
         check_positive("degrade_floor", self.degrade_floor)

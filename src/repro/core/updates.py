@@ -38,7 +38,12 @@ import numpy as np
 from repro.bloom.container import SnapshotCorruptError
 from repro.bloom.counting import CountingBloomFilter
 from repro.core.oracle import UniquenessOracle
-from repro.network.faults import RetryPolicy, SubmissionOutcome, submit_payload
+from repro.network.faults import (
+    AttemptRecord,
+    RetryPolicy,
+    TransferOutcome,
+    submit_payload,
+)
 from repro.network.upload import record_wasted_transfer
 from repro.obs import MetricsRegistry, emit_event, record_span, resolve_registry
 from repro.store.validate import validate_refresh_payload
@@ -326,15 +331,9 @@ class OracleRefresher:
                 leg="down",
             )
         else:
-            outcome = SubmissionOutcome(
+            outcome = TransferOutcome(
                 status="delivered",
-                attempts=1,
-                retries=0,
-                latency_seconds=0.0,
-                payload_bytes=len(payload),
-                wasted_seconds=0.0,
-                backoff_seconds=0.0,
-                ladder_step=0,
+                attempt_records=(AttemptRecord("ok", 0.0, len(payload), 0),),
             )
         if not outcome.delivered:
             staleness = self.staleness_seconds(now_seconds)

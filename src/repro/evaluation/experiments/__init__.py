@@ -7,6 +7,7 @@ runs one standalone.
 """
 
 __all__ = [
+    "adaptive_offload",
     "fig2_fps",
     "fig3_keypoints",
     "fig5_feature_ratio",

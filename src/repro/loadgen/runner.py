@@ -54,6 +54,7 @@ from repro.loadgen.arrivals import (
     generate_arrivals,
 )
 from repro.network.faults import RetryPolicy, submit_payload
+from repro.network.linkstate import AdaptiveConfig, AdaptiveOffloadPolicy
 from repro.obs import (
     MetricsRegistry,
     current_slo_tracker,
@@ -167,6 +168,8 @@ def _channel_leg(
     ladder: Sequence[int],
     seed: int,
     registry: MetricsRegistry,
+    adaptive: AdaptiveOffloadPolicy | None = None,
+    arrival_times: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, dict[str, Any]]:
     """Price every query's uplink; returns (latency, abandoned, summary).
 
@@ -174,6 +177,11 @@ def _channel_leg(
     loop cost, so channel legs are for thousands-scale studies, not the
     million-user fast path (which models the uplink as already priced
     into the latency SLO threshold).
+
+    With ``adaptive`` set, the policy is consulted before every query
+    (entry rung, retry budget, backoff scaling) and its estimator is
+    advanced by the inter-arrival gaps so confidence decays over quiet
+    stretches of the arrival stream.
     """
     rng = rng_for(seed, "loadgen/channel")
     ladder = [int(size) for size in ladder]
@@ -182,14 +190,28 @@ def _channel_leg(
     degraded = 0
     delivered_bytes = 0
     wasted = 0.0
+    wasted_bytes = 0
     retries = 0
+    last_time = float(arrival_times[0]) if arrival_times is not None else 0.0
     for index in range(count):
+        policy = retry
+        start_step = 0
+        if adaptive is not None:
+            if arrival_times is not None:
+                now = float(arrival_times[index])
+                adaptive.advance(max(0.0, now - last_time))
+                last_time = now
+            decision = adaptive.decide(channel, ladder_rungs=len(ladder))
+            policy = decision.adapt_retry_policy(retry)
+            start_step = decision.entry_rung
         outcome = submit_payload(
-            channel, ladder, retry, rng, registry=registry
+            channel, ladder, policy, rng, registry=registry,
+            start_step=start_step,
         )
         latency[index] = outcome.latency_seconds
         retries += outcome.retries
         wasted += outcome.wasted_seconds
+        wasted_bytes += outcome.wasted_bytes
         if outcome.status == "abandoned":
             abandoned[index] = True
         else:
@@ -200,8 +222,11 @@ def _channel_leg(
         "degraded": degraded,
         "delivered_bytes": delivered_bytes,
         "wasted_seconds": float(wasted),
+        "wasted_bytes": wasted_bytes,
         "retries": retries,
     }
+    if adaptive is not None:
+        summary["adaptive"] = adaptive.snapshot()
     return latency, abandoned, summary
 
 
@@ -214,6 +239,7 @@ def run_loadtest(
     service_samples: Sequence[float] | np.ndarray | None = None,
     channel=None,
     retry: RetryPolicy | None = None,
+    adaptive: AdaptiveOffloadPolicy | AdaptiveConfig | bool | None = None,
     payload_ladder: Sequence[int] = DEFAULT_LADDER,
     registry: MetricsRegistry | None = None,
     slo_tracker=None,
@@ -226,7 +252,10 @@ def run_loadtest(
     :func:`calibrate_service_seconds` output for measured-cost realism.
     ``channel`` (any ``UplinkChannel``-shaped object, typically a
     :class:`repro.network.faults.FaultyChannel`) adds a per-query uplink
-    leg.  ``slo_tracker`` defaults to the contextual tracker; it
+    leg; ``adaptive`` (``True``, an
+    :class:`repro.network.linkstate.AdaptiveConfig`, or a prebuilt
+    :class:`~repro.network.linkstate.AdaptiveOffloadPolicy`) shapes that
+    leg predictively.  ``slo_tracker`` defaults to the contextual tracker; it
     receives at most ``slo_events_cap`` stride-sampled outcomes stamped
     with simulated time (the tracker's sliding-window scan is linear per
     event, so feeding every query of a million-query run would be
@@ -254,8 +283,18 @@ def run_loadtest(
     uplink_summary: dict[str, Any] | None = None
     if channel is not None and count:
         retry = retry if retry is not None else RetryPolicy()
+        policy: AdaptiveOffloadPolicy | None
+        if adaptive is None or adaptive is False:
+            policy = None
+        elif isinstance(adaptive, AdaptiveOffloadPolicy):
+            policy = adaptive
+        elif adaptive is True:
+            policy = AdaptiveOffloadPolicy()
+        else:
+            policy = AdaptiveOffloadPolicy(adaptive)
         uplink, abandoned_mask, uplink_summary = _channel_leg(
-            count, channel, retry, payload_ladder, seed, registry
+            count, channel, retry, payload_ladder, seed, registry,
+            adaptive=policy, arrival_times=stream.times,
         )
         shard_times = stream.times + uplink
         # The uplink delays reorder admissions; re-sort (stably, so the

@@ -23,6 +23,15 @@ degradations count into ``network_retries_total`` /
 decisions draw from a private :func:`repro.util.rng.rng_for` stream, so
 a fixed seed replays the exact same fault pattern — and the caller's
 jitter rng is never touched by code that a fault-free run would skip.
+
+Two hooks feed the predictive layer (:mod:`repro.network.linkstate`):
+
+* :meth:`FaultyChannel.add_observer` — attempt-outcome observers see
+  every resolved attempt (``"ok"``/``"dip"`` on success, the fault kind
+  on failure) with its bytes, simulated elapsed time, and direction.
+* Gilbert–Elliott transitions emit ``channel.outage_enter`` /
+  ``channel.outage_exit`` structured events, and observed outage time
+  accumulates into ``channel_outage_seconds_total``.
 """
 
 from __future__ import annotations
@@ -38,11 +47,13 @@ from repro.util.rng import rng_for
 from repro.util.validation import check_in_range, check_positive
 
 __all__ = [
+    "AttemptRecord",
     "FaultSpec",
     "FaultyChannel",
     "RetryPolicy",
     "SubmissionOutcome",
     "TransferError",
+    "TransferOutcome",
     "submit_payload",
 ]
 
@@ -134,6 +145,11 @@ class FaultyChannel:
         self.spec = spec if spec is not None else FaultSpec(**spec_fields)
         self._rng = rng_for(self.spec.seed, f"network/faults/{channel.name}")
         self._bad = False  # Gilbert–Elliott state: True while in an outage
+        self._observers: list = []
+        # Accounting for the outage run in progress (attempt-observable
+        # time only: each bad-state attempt costs one RTT radio probe).
+        self._outage_attempts = 0
+        self._outage_seconds = 0.0
 
     # -- passthrough surface (duck-types as an UplinkChannel) ----------
 
@@ -169,6 +185,38 @@ class FaultyChannel:
     def serialization_seconds(self, num_bytes: int) -> float:
         return self.inner.serialization_seconds(num_bytes)
 
+    # -- attempt-outcome observers -------------------------------------
+
+    def add_observer(self, observer) -> None:
+        """Register an attempt-outcome observer.
+
+        After every attempt this channel resolves, the observer's
+        ``observe_attempt(kind, num_bytes, elapsed_seconds, direction)``
+        method (or the observer itself, when it is a plain callable) is
+        invoked — ``kind`` is ``"ok"`` or ``"dip"`` on success and the
+        :class:`TransferError` kind on failure.  This is how a
+        :class:`repro.network.linkstate.LinkQualityEstimator` sees the
+        outcome of every real transfer without the submission loop
+        having to thread it through.  Observers must not raise.
+        """
+        fn = getattr(observer, "observe_attempt", observer)
+        if not callable(fn):
+            raise TypeError(
+                "observer must be callable or expose observe_attempt()"
+            )
+        self._observers.append(fn)
+
+    def remove_observer(self, observer) -> None:
+        """Detach a previously registered observer (no-op if absent)."""
+        fn = getattr(observer, "observe_attempt", observer)
+        self._observers = [entry for entry in self._observers if entry != fn]
+
+    def _notify(
+        self, kind: str, num_bytes: int, elapsed: float, direction: str
+    ) -> None:
+        for observer in self._observers:
+            observer(kind, int(num_bytes), float(elapsed), direction)
+
     # -- fault machinery -----------------------------------------------
 
     def _advance(self) -> str | None:
@@ -179,11 +227,14 @@ class FaultyChannel:
         """
         spec = self.spec
         rng = self._rng
+        was_bad = self._bad
         if self._bad:
             if float(rng.random()) < spec.outage_exit:
                 self._bad = False
         elif spec.outage_enter and float(rng.random()) < spec.outage_enter:
             self._bad = True
+        if self._bad != was_bad:
+            self._transition()
         if self._bad:
             return "outage"
         if spec.loss and float(rng.random()) < spec.loss:
@@ -191,6 +242,32 @@ class FaultyChannel:
         if spec.dip_probability and float(rng.random()) < spec.dip_probability:
             return "dip"
         return None
+
+    def _transition(self) -> None:
+        """Emit the structured event for a Gilbert–Elliott state flip."""
+        if self._bad:
+            self._outage_attempts = 0
+            self._outage_seconds = 0.0
+            emit_event("channel.outage_enter", channel=self.inner.name)
+        else:
+            emit_event(
+                "channel.outage_exit",
+                channel=self.inner.name,
+                attempts=self._outage_attempts,
+                outage_seconds=round(self._outage_seconds, 6),
+            )
+
+    def _account_outage(self, elapsed: float) -> None:
+        """Accrue one bad-state attempt into the outage-time accounting."""
+        self._outage_attempts += 1
+        self._outage_seconds += elapsed
+        registry = current_registry()
+        if registry is not None:
+            registry.counter(
+                "channel_outage_seconds_total",
+                help="simulated seconds attempts spent probing an outage",
+                channel=self.inner.name,
+            ).inc(elapsed)
 
     def _fault_elapsed(self, kind: str, num_bytes: int, direction: str) -> float:
         """Deterministic simulated cost of a failed attempt.
@@ -209,6 +286,9 @@ class FaultyChannel:
 
     def _raise_fault(self, kind: str, num_bytes: int, direction: str) -> None:
         elapsed = self._fault_elapsed(kind, num_bytes, direction)
+        if kind == "outage":
+            self._account_outage(elapsed)
+        self._notify(kind, num_bytes, elapsed, direction)
         record_span(
             "network.fault",
             elapsed,
@@ -259,25 +339,29 @@ class FaultyChannel:
         self, num_bytes: int, rng: np.random.Generator | None = None
     ) -> float:
         """Uplink attempt; raises :class:`TransferError` on a fault."""
-        if self.spec.is_null:
+        if self.spec.is_null and not self._observers:
             return self.inner.transfer_seconds(num_bytes, rng)
         kind = self._advance()
         if kind in ("loss", "outage"):
             self._raise_fault(kind, num_bytes, "up")
         effective = self._dipped() if kind == "dip" else self.inner
-        return effective.transfer_seconds(num_bytes, rng)
+        seconds = effective.transfer_seconds(num_bytes, rng)
+        self._notify(kind or "ok", num_bytes, seconds, "up")
+        return seconds
 
     def response_seconds(
         self, num_bytes: int, rng: np.random.Generator | None = None
     ) -> float:
         """Downlink attempt; raises :class:`TransferError` on a fault."""
-        if self.spec.is_null:
+        if self.spec.is_null and not self._observers:
             return self.inner.response_seconds(num_bytes, rng)
         kind = self._advance()
         if kind in ("loss", "outage"):
             self._raise_fault(kind, num_bytes, "down")
         effective = self._dipped() if kind == "dip" else self.inner
-        return effective.response_seconds(num_bytes, rng)
+        seconds = effective.response_seconds(num_bytes, rng)
+        self._notify(kind or "ok", num_bytes, seconds, "down")
+        return seconds
 
     def round_trip_seconds(
         self,
@@ -287,7 +371,7 @@ class FaultyChannel:
         rng: np.random.Generator | None = None,
     ) -> float:
         """Faultable round trip; either leg may raise :class:`TransferError`."""
-        if self.spec.is_null:
+        if self.spec.is_null and not self._observers:
             return self.inner.round_trip_seconds(
                 upload_bytes, response_bytes, server_seconds, rng
             )
@@ -304,7 +388,7 @@ class FaultyChannel:
         the uplink for its full serialization; an outage is detected
         immediately (no air time).
         """
-        if self.spec.is_null:
+        if self.spec.is_null and not self._observers:
             return self.inner.serialization_seconds(num_bytes)
         kind = self._advance()
         if kind in ("loss", "outage"):
@@ -313,6 +397,9 @@ class FaultyChannel:
                 if kind == "outage"
                 else self.inner.serialization_seconds(num_bytes)
             )
+            if kind == "outage":
+                self._account_outage(elapsed)
+            self._notify(kind, num_bytes, elapsed, "up")
             record_span(
                 "network.fault",
                 elapsed,
@@ -337,7 +424,9 @@ class FaultyChannel:
                     ).inc(num_bytes)
             raise TransferError(kind, elapsed, direction="up", channel=self.name)
         effective = self._dipped() if kind == "dip" else self.inner
-        return effective.serialization_seconds(num_bytes)
+        seconds = effective.serialization_seconds(num_bytes)
+        self._notify(kind or "ok", num_bytes, seconds, "up")
+        return seconds
 
 
 @dataclass(frozen=True)
@@ -381,21 +470,92 @@ class RetryPolicy:
 
 
 @dataclass(frozen=True)
-class SubmissionOutcome:
-    """What happened to one payload pushed through :func:`submit_payload`."""
+class AttemptRecord:
+    """One transfer attempt inside a :func:`submit_payload` ladder walk."""
+
+    kind: str  # "ok" on success, else the TransferError kind
+    elapsed_seconds: float  # simulated time the attempt consumed
+    payload_bytes: int  # bytes the attempt tried to push
+    rung: int  # degradation-ladder index the attempt used
+
+    @property
+    def ok(self) -> bool:
+        return self.kind in ("ok", "dip")
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """What happened to one payload pushed through :func:`submit_payload`.
+
+    Carries the full per-attempt history (``attempt_records``) so callers
+    — the adaptive policy above all — never re-derive attempt kinds from
+    metrics deltas.  The legacy :class:`SubmissionOutcome` scalar shape
+    (``attempts`` / ``retries`` / ``latency_seconds`` / ...) survives as
+    thin properties over the records.
+    """
 
     status: str  # "delivered" | "degraded" | "abandoned"
-    attempts: int
-    retries: int
-    latency_seconds: float
-    payload_bytes: int  # bytes of the successful attempt (0 if abandoned)
-    wasted_seconds: float  # simulated time burnt on failed attempts
-    backoff_seconds: float
-    ladder_step: int  # ladder index of the last attempt
+    attempt_records: tuple[AttemptRecord, ...]
+    backoff_seconds: float = 0.0
 
     @property
     def delivered(self) -> bool:
         return self.status != "abandoned"
+
+    @property
+    def attempts(self) -> int:
+        return len(self.attempt_records)
+
+    @property
+    def retries(self) -> int:
+        return max(0, len(self.attempt_records) - 1)
+
+    @property
+    def latency_seconds(self) -> float:
+        return (
+            sum(record.elapsed_seconds for record in self.attempt_records)
+            + self.backoff_seconds
+        )
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes of the successful attempt (0 if abandoned)."""
+        if not self.delivered or not self.attempt_records:
+            return 0
+        return self.attempt_records[-1].payload_bytes
+
+    @property
+    def wasted_seconds(self) -> float:
+        """Simulated time burnt on failed attempts."""
+        return sum(
+            record.elapsed_seconds
+            for record in self.attempt_records
+            if not record.ok
+        )
+
+    @property
+    def wasted_bytes(self) -> int:
+        """Bytes fully transmitted on attempts that were then lost.
+
+        Outage attempts fail fast (one RTT radio probe, nothing on the
+        air), so only ``kind == "loss"`` attempts burn payload bytes.
+        """
+        return sum(
+            record.payload_bytes
+            for record in self.attempt_records
+            if record.kind == "loss"
+        )
+
+    @property
+    def ladder_step(self) -> int:
+        """Ladder index of the last attempt."""
+        if not self.attempt_records:
+            return 0
+        return self.attempt_records[-1].rung
+
+
+#: Backwards-compatible alias — PR 4 callers imported this name.
+SubmissionOutcome = TransferOutcome
 
 
 def submit_payload(
@@ -407,7 +567,7 @@ def submit_payload(
     registry=None,
     leg: str = "up",
     start_step: int = 0,
-) -> SubmissionOutcome:
+) -> TransferOutcome:
     """Push a payload through ``channel`` with retries and degradation.
 
     ``ladder`` lists payload sizes from full quality downward (a single
@@ -427,10 +587,9 @@ def submit_payload(
     send = channel.response_seconds if leg == "down" else channel.transfer_seconds
     step = min(max(int(start_step), 0), len(ladder) - 1)
     latency = 0.0
-    wasted = 0.0
     backoff_total = 0.0
-    retries = 0
     attempts = 0
+    records: list[AttemptRecord] = []
     while attempts < policy.max_attempts:
         attempts += 1
         size = int(ladder[step])
@@ -438,7 +597,9 @@ def submit_payload(
             seconds = send(size, rng)
         except TransferError as fault:
             latency += fault.elapsed_seconds
-            wasted += fault.elapsed_seconds
+            records.append(
+                AttemptRecord(fault.kind, fault.elapsed_seconds, size, step)
+            )
             if attempts >= policy.max_attempts or latency >= policy.budget_seconds:
                 break
             pause = policy.backoff_seconds(attempts, rng)
@@ -446,7 +607,6 @@ def submit_payload(
                 break
             latency += pause
             backoff_total += pause
-            retries += 1
             record_span(
                 "network.backoff",
                 pause,
@@ -471,6 +631,7 @@ def submit_payload(
             step = next_step
             continue
         latency += seconds
+        records.append(AttemptRecord("ok", seconds, size, step))
         status = "degraded" if step > 0 else "delivered"
         if status == "degraded" and registry is not None:
             registry.counter(
@@ -478,15 +639,10 @@ def submit_payload(
                 help="queries delivered with a shrunken fingerprint",
                 channel=channel_name,
             ).inc()
-        return SubmissionOutcome(
+        return TransferOutcome(
             status=status,
-            attempts=attempts,
-            retries=retries,
-            latency_seconds=latency,
-            payload_bytes=size,
-            wasted_seconds=wasted,
+            attempt_records=tuple(records),
             backoff_seconds=backoff_total,
-            ladder_step=step,
         )
     if registry is not None:
         registry.counter(
@@ -501,13 +657,8 @@ def submit_payload(
         latency_seconds=round(latency, 6),
         budget_seconds=policy.budget_seconds,
     )
-    return SubmissionOutcome(
+    return TransferOutcome(
         status="abandoned",
-        attempts=attempts,
-        retries=retries,
-        latency_seconds=latency,
-        payload_bytes=0,
-        wasted_seconds=wasted,
+        attempt_records=tuple(records),
         backoff_seconds=backoff_total,
-        ladder_step=step,
     )

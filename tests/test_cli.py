@@ -12,7 +12,7 @@ class TestCli:
         expected = {
             "fig2", "fig3", "fig5", "fig6", "fig13", "fig14",
             "fig15", "fig16", "fig18", "fig19", "fig20", "takeaways",
-            "latency",
+            "latency", "adaptive",
         }
         assert set(_EXPERIMENTS) == expected
 
